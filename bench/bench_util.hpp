@@ -1,0 +1,31 @@
+// Shared helpers for the experiment benches (bench/README in DESIGN.md).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace mdl::bench {
+
+/// Banner printed at the top of every experiment bench.
+inline void banner(const std::string& experiment_id,
+                   const std::string& paper_artifact,
+                   const std::string& description) {
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment_id << " — " << paper_artifact << '\n'
+            << description << '\n'
+            << "==============================================================="
+               "=\n\n";
+}
+
+/// True when MDL_QUICK is set: benches shrink workloads (used in CI smoke
+/// runs); results keep their shape but with more variance.
+inline bool quick_mode() { return std::getenv("MDL_QUICK") != nullptr; }
+
+/// Scales a workload knob down in quick mode.
+inline std::int64_t scaled(std::int64_t full, std::int64_t quick) {
+  return quick_mode() ? quick : full;
+}
+
+}  // namespace mdl::bench

@@ -1,0 +1,130 @@
+// E4 — Fig. 3 / §III-A: private cloud-based split inference. Sweeps the
+// perturbation strength (Laplace scale and nullification rate) with noisy
+// training on/off, and reports the uplink saving of shipping the learned
+// representation instead of raw data.
+//
+// Shape targets: (1) noisy training recovers most of the accuracy the
+// perturbation costs ("not only preserve users privacy but also improve
+// the inference performance"); (2) representation bytes < raw bytes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "data/synthetic.hpp"
+#include "federated/common.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "split/reconstruction.hpp"
+#include "split/split_inference.hpp"
+
+namespace {
+
+using namespace mdl;
+
+std::unique_ptr<nn::Sequential> make_network(Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Linear>(32, 12, rng);
+  net->emplace<nn::Tanh>();
+  net->emplace<nn::Linear>(12, 48, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(48, 5, rng);
+  return net;
+}
+
+double averaged_eval(split::SplitInference& sys,
+                     const data::TabularDataset& test,
+                     const split::PerturbConfig& cfg, int reps) {
+  double acc = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(900 + static_cast<std::uint64_t>(r));
+    acc += sys.evaluate(test, cfg, rng);
+  }
+  return acc / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E4", "Fig. 3 + §III-A (private split inference)",
+                "Accuracy under nullification + Laplace perturbation, with "
+                "and without noisy training;\nuplink bytes of representation "
+                "vs raw input.");
+
+  Rng rng(421);
+  data::SyntheticConfig sc;
+  sc.num_samples = bench::scaled(2000, 500);
+  sc.num_features = 32;
+  sc.num_classes = 5;
+  sc.class_sep = 2.8;
+  const data::TabularDataset dataset = data::make_classification(sc, rng);
+  const data::TabularSplit split_ds =
+      data::train_test_split(dataset, 0.25, rng);
+  const std::int64_t epochs = bench::scaled(25, 6);
+  const int eval_reps = bench::quick_mode() ? 2 : 5;
+
+  {
+    Rng probe_rng(1);
+    split::SplitInference probe =
+        split::SplitInference::from_whole(make_network(probe_rng), 2);
+    std::cout << "uplink per query: raw input " << 32 * 4
+              << " B, representation "
+              << probe.representation_dim(32) * 4 << " B\n\n";
+  }
+
+  TablePrinter table({"nullification", "laplace scale", "eps/coord",
+                      "acc (standard)", "acc (noisy training)",
+                      "attack rel.err"});
+
+  struct Sweep {
+    double mu, scale;
+  };
+  for (const Sweep s : {Sweep{0.0, 0.0}, Sweep{0.1, 0.2}, Sweep{0.2, 0.4},
+                        Sweep{0.3, 0.6}, Sweep{0.4, 0.8}}) {
+    split::PerturbConfig cfg;
+    cfg.nullification_rate = s.mu;
+    cfg.laplace_scale = s.scale;
+    cfg.clip_bound = 1.0;
+
+    // The local part is "derived from the pretrained DNN whose structure
+    // and weights are frozen" (Fig. 3): pretrain the whole network on the
+    // public-data stand-in before splitting.
+    const auto pretrained_split = [&](std::uint64_t seed) {
+      Rng net_rng(seed);
+      auto whole = make_network(net_rng);
+      Rng pre_rng(13);
+      federated::local_sgd(*whole, split_ds.train, epochs, 32, 0.1, pre_rng);
+      return split::SplitInference::from_whole(std::move(whole), 2);
+    };
+    split::SplitInference standard = pretrained_split(7);
+    split::SplitInference noisy = pretrained_split(7);
+
+    Rng ta(11), tb(11);
+    standard.train_cloud(split_ds.train, cfg, false, epochs, 32, 0.1, ta);
+    noisy.train_cloud(split_ds.train, cfg, true, epochs, 32, 0.1, tb);
+
+    table.begin_row().add(s.mu, 1).add(s.scale, 1);
+    if (s.scale <= 0.0) {
+      table.add("inf");
+    } else {
+      table.add(cfg.per_coordinate_epsilon(), 1);
+    }
+    table.add_percent(averaged_eval(standard, split_ds.test, cfg, eval_reps))
+        .add_percent(averaged_eval(noisy, split_ds.test, cfg, eval_reps));
+
+    // Privacy side of the trade-off: how well can an attacker with query
+    // access reconstruct the raw input from what the phone transmits?
+    split::AttackConfig ac;
+    ac.epochs = bench::scaled(25, 8);
+    const auto attack = split::reconstruction_attack(
+        noisy, split_ds.train, split_ds.test, cfg, ac);
+    table.add(attack.relative_error, 2);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape targets: the noisy-training column dominates the "
+               "standard column at every\nperturbation level, and the "
+               "attacker's reconstruction error (1.0 = learned\nnothing) "
+               "rises with the perturbation — the privacy/utility dial of "
+               "Fig. 3.\n";
+  return 0;
+}

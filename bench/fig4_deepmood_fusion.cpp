@@ -1,0 +1,136 @@
+// E6 — Fig. 4 / §IV-A: DeepMood mood-disturbance prediction. Compares the
+// three fusion heads (Eq. 2 FC, Eq. 3 Factorization Machine, Eq. 4
+// Multi-view Machine) against the shallow baselines the paper dismisses
+// (LR, SVM) and the strong ensemble baseline (XGBoost).
+//
+// Paper reference points: DeepMood reaches 90.31% session-level accuracy
+// and beats XGBoost by 5.56 points; LR/SVM are "not a good fit".
+#include <iostream>
+
+#include "apps/multiview_model.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "data/keystroke.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/linear_models.hpp"
+
+namespace {
+
+using namespace mdl;
+
+apps::EvalResult eval_deepmood(data::MultiViewDataset train,
+                               data::MultiViewDataset test,
+                               fusion::FusionKind kind, std::int64_t epochs,
+                               bool bidirectional = false,
+                               apps::EncoderKind encoder =
+                                   apps::EncoderKind::kGru) {
+  data::MultiViewScaler scaler;
+  scaler.fit(train);
+  scaler.apply(train);
+  scaler.apply(test);
+  Rng rng(111);
+  apps::MultiViewConfig mc =
+      apps::deepmood_config(train.view_dims, train.seq_lens, kind);
+  mc.bidirectional = bidirectional;
+  mc.encoder = encoder;
+  apps::MultiViewModel model(mc, rng);
+  apps::MultiViewTrainConfig tc;
+  tc.epochs = epochs;
+  apps::MultiViewTrainer trainer(model, tc);
+  trainer.train(train);
+  // Step-decay fine-tuning phase.
+  apps::MultiViewTrainConfig tc2 = tc;
+  tc2.epochs = std::max<std::int64_t>(epochs / 2, 1);
+  tc2.lr = 0.002;
+  apps::MultiViewTrainer fine(model, tc2);
+  fine.train(train);
+  return fine.evaluate(test);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E6", "Fig. 4 + §IV-A",
+                "DeepMood: session-level mood-disturbance prediction from "
+                "typing dynamics,\nfusion-layer ablation (fc/fm/mvm) vs "
+                "shallow and ensemble baselines.");
+
+  // Cohort sized after the BiAffect analysis subset: 20 participants
+  // contributing many short sessions.
+  data::KeystrokeConfig kc;
+  kc.alnum_len = 24;
+  kc.special_len = 10;
+  kc.accel_len = 32;
+  kc.mood_effect = 0.9;
+  kc.session_noise = 1.2;
+  kc.num_contexts = 2;
+  kc.context_spread = 0.4;
+  data::KeystrokeSimulator sim(kc);
+  Rng rng(2024);
+  const std::int64_t sessions = bench::scaled(120, 30);
+  const data::MultiViewDataset ds = sim.mood_dataset(20, sessions, rng);
+  const data::MultiViewSplit split = data::train_test_split(ds, 0.25, rng);
+  std::cout << "cohort: 20 participants x " << sessions << " sessions ("
+            << split.train.size() << " train / " << split.test.size()
+            << " test)\n\n";
+
+  TablePrinter table({"Method", "Accuracy", "F1", "paper"});
+
+  const data::TabularDataset train_f = to_session_features(split.train);
+  const data::TabularDataset test_f = to_session_features(split.test);
+  const auto add_baseline = [&](ml::Classifier& clf, const char* paper_note) {
+    clf.fit(train_f);
+    table.begin_row()
+        .add(clf.name())
+        .add_percent(ml::evaluate_accuracy(clf, test_f))
+        .add_percent(ml::evaluate_macro_f1(clf, test_f))
+        .add(paper_note);
+  };
+  ml::LogisticRegression lr;
+  ml::LinearSVM svm;
+  ml::GBDTConfig gc;
+  gc.rounds = bench::scaled(80, 15);
+  gc.max_depth = 5;
+  ml::GradientBoostedTrees gbdt(gc);
+  add_baseline(lr, "\"not a good fit\"");
+  add_baseline(svm, "\"not a good fit\"");
+  add_baseline(gbdt, "90.31% - 5.56 = 84.75%");
+
+  const std::int64_t epochs = bench::scaled(30, 6);
+  for (const auto kind : {fusion::FusionKind::kFullyConnected,
+                          fusion::FusionKind::kFactorizationMachine,
+                          fusion::FusionKind::kMultiviewMachine}) {
+    const apps::EvalResult r =
+        eval_deepmood(split.train, split.test, kind, epochs);
+    table.begin_row()
+        .add("DeepMood(" + fusion::to_string(kind) + ")")
+        .add_percent(r.accuracy)
+        .add_percent(r.macro_f1)
+        .add("up to 90.31%");
+  }
+  // Bidirectional ablation (the paper's d = 2 m d_h configuration).
+  const apps::EvalResult bi =
+      eval_deepmood(split.train, split.test,
+                    fusion::FusionKind::kFactorizationMachine, epochs,
+                    /*bidirectional=*/true);
+  table.begin_row()
+      .add("DeepMood(fm, bidir)")
+      .add_percent(bi.accuracy)
+      .add_percent(bi.macro_f1)
+      .add("d = 2 m d_h variant");
+
+  // LSTM-encoder ablation ("GRU ... is a simplified version of LSTM").
+  const apps::EvalResult lstm_r = eval_deepmood(
+      split.train, split.test, fusion::FusionKind::kFactorizationMachine,
+      epochs, /*bidirectional=*/false, apps::EncoderKind::kLstm);
+  table.begin_row()
+      .add("DeepMood(fm, LSTM)")
+      .add_percent(lstm_r.accuracy)
+      .add_percent(lstm_r.macro_f1)
+      .add("LSTM encoder ablation");
+
+  table.print(std::cout);
+  std::cout << "\nShape targets: every DeepMood variant beats XGBoost, which "
+               "beats LR/SVM by a wide margin.\n";
+  return 0;
+}

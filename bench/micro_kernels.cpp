@@ -1,0 +1,156 @@
+// E12 — supporting microbenchmarks (google-benchmark): the numeric kernels
+// the experiments stand on. Useful for spotting performance regressions in
+// matmul, the GRU step, sparse matvec, Huffman coding, quantization, and
+// tree-ensemble prediction.
+#include <benchmark/benchmark.h>
+
+#include "compress/huffman.hpp"
+#include "compress/prune.hpp"
+#include "compress/quantize.hpp"
+#include "compress/sparse_matrix.hpp"
+#include "core/tensor.hpp"
+#include "data/synthetic.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/gru.hpp"
+
+namespace {
+
+using namespace mdl;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64);
+
+void BM_GruStep(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(3);
+  nn::GRUCell cell(16, 32, rng);
+  const Tensor x = Tensor::randn({batch, 16}, rng);
+  const Tensor h = Tensor::randn({batch, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.step(x, h));
+    cell.clear_cache();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GruStep)->Arg(1)->Arg(32);
+
+void BM_GruSequenceForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::GRU gru(8, 16, rng);
+  const Tensor seq = Tensor::randn({32, 16, 8}, rng);
+  const Tensor grad = Tensor::randn({16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.forward(seq));
+    benchmark::DoNotOptimize(gru.backward(grad));
+    gru.zero_grad();
+  }
+}
+BENCHMARK(BM_GruSequenceForwardBackward);
+
+void BM_SparseMatvec(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(5);
+  Tensor dense = Tensor::randn({256, 256}, rng);
+  compress::prune_by_magnitude(dense, 1.0 - density);
+  const compress::CsrMatrix m = compress::CsrMatrix::from_dense(dense);
+  const Tensor x = Tensor::randn({256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.matvec(x));
+  }
+  state.counters["nnz"] = static_cast<double>(m.nnz());
+}
+BENCHMARK(BM_SparseMatvec)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DenseMatvec(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor a = Tensor::randn({256, 256}, rng);
+  const Tensor x = Tensor::randn({256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matvec(a, x));
+  }
+}
+BENCHMARK(BM_DenseMatvec);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::uint32_t> symbols(16384);
+  for (auto& s : symbols)
+    s = rng.bernoulli(0.8) ? 0U
+                           : static_cast<std::uint32_t>(rng.uniform_int(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::huffman_encode(symbols, 32));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<std::uint32_t> symbols(16384);
+  for (auto& s : symbols)
+    s = rng.bernoulli(0.8) ? 0U
+                           : static_cast<std::uint32_t>(rng.uniform_int(32));
+  const auto enc = compress::huffman_encode(symbols, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::huffman_decode(enc));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_QuantizeKmeans(benchmark::State& state) {
+  Rng rng(9);
+  Tensor t = Tensor::randn({128, 128}, rng);
+  compress::prune_by_magnitude(t, 0.8);
+  compress::QuantizeConfig cfg;
+  cfg.bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::quantize_kmeans(t, cfg));
+  }
+}
+BENCHMARK(BM_QuantizeKmeans)->Arg(4)->Arg(8);
+
+void BM_ForestPredict(benchmark::State& state) {
+  Rng rng(10);
+  data::SyntheticConfig sc;
+  sc.num_samples = 500;
+  sc.num_features = 24;
+  sc.num_classes = 10;
+  const auto ds = data::make_classification(sc, rng);
+  ml::ForestConfig fc;
+  fc.num_trees = 50;
+  ml::RandomForest forest(fc);
+  forest.fit(ds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(ds.features));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+}
+BENCHMARK(BM_ForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

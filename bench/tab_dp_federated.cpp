@@ -1,0 +1,115 @@
+// E3 — §II-C: differentially private training. Two tables:
+//   1. DP-FedAvg (McMahan et al.'s four modifications) across noise
+//      multipliers z, with (epsilon, delta) from the moments accountant —
+//      the paper's claim is DP "without losing accuracy" at moderate z;
+//   2. DP-SGD (Abadi et al.) on the centralized equivalent for reference.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "data/synthetic.hpp"
+#include "federated/fedavg.hpp"
+#include "privacy/dp_fedavg.hpp"
+#include "privacy/dp_sgd.hpp"
+#include "privacy/pate.hpp"
+
+int main() {
+  using namespace mdl;
+  bench::banner("E3", "§II-C (differentially private training)",
+                "User-level DP-FedAvg and example-level DP-SGD: accuracy vs "
+                "privacy budget\n(moments accountant, delta = 1e-5).");
+
+  Rng rng(161);
+  data::SyntheticConfig sc;
+  sc.num_samples = bench::scaled(3000, 600);
+  sc.num_features = 24;
+  sc.num_classes = 10;
+  sc.class_sep = 3.0;
+  const data::TabularDataset dataset = data::make_classification(sc, rng);
+  const data::TabularSplit split = data::train_test_split(dataset, 0.2, rng);
+  // User-level DP lives off cohort size: the Gaussian noise on the average
+  // update has stddev z * S / (p * K), so more participants buys privacy
+  // "for free" — exactly the paper's argument.
+  const std::size_t clients = 80;
+  const auto shards =
+      data::partition_dirichlet(split.train, clients, 0.5, rng);
+  const federated::ModelFactory factory = federated::mlp_factory(24, 32, 10);
+  const std::int64_t rounds = bench::scaled(30, 8);
+
+  std::cout << "--- DP-FedAvg: " << clients
+            << " clients, sampling prob 0.5, clip S = 4.0, " << rounds
+            << " rounds ---\n";
+  TablePrinter fed_table({"z (noise mult)", "accuracy", "epsilon"});
+  for (const double z : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    privacy::DpFedAvgConfig cfg;
+    cfg.rounds = rounds;
+    cfg.client_sample_prob = 0.5;
+    cfg.local_epochs = 5;
+    cfg.clip_norm = 4.0;
+    cfg.noise_multiplier = z;
+    privacy::DpFedAvgTrainer trainer(factory, shards, cfg);
+    const auto history = trainer.run(split.test);
+    fed_table.begin_row()
+        .add(z, 1)
+        .add_percent(history.back().test_accuracy);
+    if (std::isinf(history.back().epsilon)) {
+      fed_table.add("inf (non-private)");
+    } else {
+      fed_table.add(history.back().epsilon, 2);
+    }
+  }
+  fed_table.print(std::cout);
+
+  std::cout << "\n--- DP-SGD (centralized reference): lot 64, clip 1.0 ---\n";
+  TablePrinter sgd_table({"z (noise mult)", "accuracy", "epsilon", "steps"});
+  for (const double z : {0.0, 0.7, 1.1, 2.0}) {
+    Rng model_rng(42);
+    auto model = factory(model_rng);
+    privacy::DpSgdConfig cfg;
+    cfg.epochs = bench::scaled(6, 2);
+    cfg.lot_size = 64;
+    cfg.clip_norm = 1.0;
+    cfg.noise_multiplier = z;
+    cfg.lr = 0.25;
+    const privacy::DpSgdResult r =
+        privacy::train_dp_sgd(*model, split.train, split.test, cfg);
+    sgd_table.begin_row().add(z, 1).add_percent(r.test_accuracy);
+    if (std::isinf(r.epsilon)) {
+      sgd_table.add("inf (non-private)");
+    } else {
+      sgd_table.add(r.epsilon, 2);
+    }
+    sgd_table.add(r.steps);
+  }
+  sgd_table.print(std::cout);
+
+  // PATE (Papernot et al.), the third §II-C approach: teachers trained on
+  // disjoint sensitive shards privately label a public set for a student.
+  std::cout << "\n--- PATE: 10 teachers, noisy-max labeling of a public "
+               "set ---\n";
+  TablePrinter pate_table({"noise scale b", "eps/query", "label agreement",
+                           "student acc"});
+  const auto pate_split =
+      data::train_test_split(split.train, 0.25, rng);  // public carve-out
+  for (const double b : {0.1, 1.0, 4.0}) {
+    privacy::PateConfig pc;
+    pc.num_teachers = 10;
+    pc.teacher_epochs = bench::scaled(10, 4);
+    pc.noise_scale = b;
+    const privacy::PateResult r = privacy::run_pate(
+        factory, pate_split.train, pate_split.test, split.test, pc);
+    pate_table.begin_row()
+        .add(b, 1)
+        .add(2.0 / b, 2)
+        .add_percent(r.label_agreement)
+        .add_percent(r.student_accuracy);
+  }
+  pate_table.print(std::cout);
+
+  std::cout << "\nShape targets: moderate noise (z ~ 1) costs a few points "
+               "at single-digit epsilon;\naccuracy decays and epsilon "
+               "shrinks monotonically as z grows; PATE students track\n"
+               "teacher consensus until the vote noise drowns the margin.\n";
+  return 0;
+}

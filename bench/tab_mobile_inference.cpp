@@ -1,0 +1,156 @@
+// E11 — §III deployment trade-off: on-device vs cloud vs split inference
+// latency and phone energy across uplink bandwidths, for three model
+// scales:
+//   - DEEPSERVICE (the paper's own app): FLOPs counted from the real
+//     mdl::apps network;
+//   - a MobileNet-class vision model (§III-B cites MobileNets): ~0.57
+//     GFLOPs on a 224x224 RGB input;
+//   - a VGG-class model (the "large DNN" §III motivates compression with):
+//     ~15.5 GFLOPs on the same input.
+// Shape targets: tiny models always run on-device; for heavy models the
+// cloud wins once bandwidth is high while on-device wins on slow links;
+// the split deployment always ships the fewest bytes.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "apps/multiview_model.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "data/keystroke.hpp"
+#include "mobile/cost_model.hpp"
+#include "nn/gru.hpp"
+
+namespace {
+
+using namespace mdl;
+
+struct ModelSpec {
+  std::string name;
+  std::int64_t total_flops;
+  std::int64_t local_flops;    ///< phone-side part in the split deployment
+  std::uint64_t input_bytes;   ///< raw upload for cloud inference
+  std::uint64_t rep_bytes;     ///< representation upload for split
+  std::uint64_t output_bytes;
+};
+
+std::string mbps_str(double mbps) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << mbps << " Mbps";
+  return os.str();
+}
+
+const char* winner(double device, double cloud, double split) {
+  if (device <= cloud && device <= split) return "on-device";
+  if (cloud <= split) return "cloud";
+  return "split";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E11", "§III (where should inference run?)",
+                "Latency / phone-energy of on-device, cloud, and split "
+                "deployments across uplink\nbandwidths, for three model "
+                "scales.");
+
+  // DEEPSERVICE: count real FLOPs/bytes from the real network.
+  data::KeystrokeSimulator sim;
+  Rng rng(1);
+  const apps::MultiViewConfig mc =
+      apps::deepservice_config(sim.view_dims(), sim.seq_lens(), 26);
+  apps::MultiViewModel deepservice(mc, rng);
+  std::uint64_t ds_raw = 0;
+  for (std::size_t p = 0; p < sim.view_dims().size(); ++p)
+    ds_raw += static_cast<std::uint64_t>(sim.view_dims()[p]) *
+              static_cast<std::uint64_t>(sim.seq_lens()[p]) * 4;
+  std::int64_t ds_encoders = 0;
+  {
+    Rng tmp(2);
+    for (std::size_t p = 0; p < sim.view_dims().size(); ++p) {
+      nn::GRU gru(sim.view_dims()[p], mc.hidden, tmp);
+      gru.set_nominal_seq_len(sim.seq_lens()[p]);
+      ds_encoders += gru.flops_per_example();
+    }
+  }
+
+  const std::uint64_t image_bytes = 224ULL * 224 * 3;  // 8-bit RGB upload
+  const ModelSpec models[] = {
+      {"DEEPSERVICE (keystrokes)", deepservice.flops_per_example(),
+       ds_encoders, ds_raw,
+       static_cast<std::uint64_t>(sim.view_dims().size()) *
+           static_cast<std::uint64_t>(mc.hidden) * 4,
+       26 * 4},
+      // MobileNet-224 (Howard et al. 2017): 569 MFLOPs. Split after the
+      // first few depthwise blocks: ~15% of compute, 28x28x32 fp32 map.
+      {"MobileNet-class (vision)", 569'000'000, 85'000'000, image_bytes,
+       28ULL * 28 * 32 * 4, 1000 * 4},
+      // VGG-16: 15.5 GFLOPs; split after conv2_2: ~10% of compute,
+      // 112x112x64 fp32 map (bigger than the input — split does not pay
+      // in bytes for early-conv splits, which the table shows honestly).
+      {"VGG-class (vision)", 15'500'000'000, 1'550'000'000, image_bytes,
+       112ULL * 112 * 64 * 4, 1000 * 4},
+  };
+
+  const mobile::DeviceProfile phone = mobile::DeviceProfile::mobile_soc();
+  const mobile::DeviceProfile server = mobile::DeviceProfile::cloud_server();
+
+  for (const ModelSpec& m : models) {
+    std::cout << "--- " << m.name << ": "
+              << static_cast<double>(m.total_flops) / 1e9
+              << " GFLOPs, raw input " << format_bytes(m.input_bytes)
+              << ", split representation " << format_bytes(m.rep_bytes)
+              << " ---\n";
+    TablePrinter table({"uplink", "device ms", "device mJ", "cloud ms",
+                        "cloud mJ", "split ms", "split mJ", "fastest"});
+    for (const double mbps : {0.5, 2.0, 8.0, 40.0, 200.0}) {
+      mobile::NetworkModel net{mbps, mbps * 4.0, 0.05};
+      const mobile::InferencePlanner planner(phone, server, net);
+      const auto device = planner.on_device(m.total_flops);
+      const auto cloud =
+          planner.on_cloud(m.input_bytes, m.total_flops, m.output_bytes);
+      const auto split = planner.split(m.local_flops, m.rep_bytes,
+                                       m.total_flops - m.local_flops,
+                                       m.output_bytes);
+      table.begin_row()
+          .add(mbps_str(mbps))
+          .add(device.latency_s * 1e3, 2)
+          .add(device.device_energy_j * 1e3, 2)
+          .add(cloud.latency_s * 1e3, 2)
+          .add(cloud.device_energy_j * 1e3, 2)
+          .add(split.latency_s * 1e3, 2)
+          .add(split.device_energy_j * 1e3, 2)
+          .add(winner(device.latency_s, cloud.latency_s, split.latency_s));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Embedded-sensor scenario (§V: "whether a smart phone or an embedded
+  // sensor"): on-device becomes prohibitive even for the medium model.
+  std::cout << "--- MobileNet-class on an embedded sensor node (LTE) ---\n";
+  const mobile::InferencePlanner sensor(
+      mobile::DeviceProfile::embedded_sensor(), server,
+      mobile::NetworkModel::lte());
+  const ModelSpec& mn = models[1];
+  TablePrinter st({"placement", "latency (ms)", "energy (mJ)"});
+  const auto sd = sensor.on_device(mn.total_flops);
+  const auto sc = sensor.on_cloud(mn.input_bytes, mn.total_flops,
+                                  mn.output_bytes);
+  const auto ss = sensor.split(mn.local_flops, mn.rep_bytes,
+                               mn.total_flops - mn.local_flops,
+                               mn.output_bytes);
+  st.begin_row().add("on-device").add(sd.latency_s * 1e3, 1).add(
+      sd.device_energy_j * 1e3, 2);
+  st.begin_row().add("cloud").add(sc.latency_s * 1e3, 1).add(
+      sc.device_energy_j * 1e3, 2);
+  st.begin_row().add("split").add(ss.latency_s * 1e3, 1).add(
+      ss.device_energy_j * 1e3, 2);
+  st.print(std::cout);
+
+  std::cout << "\nShape targets: tiny models always run on-device; heavy "
+               "models move to the cloud as\nbandwidth grows (crossover "
+               "visible in the VGG-class table); the sensor node cannot\n"
+               "afford heavy on-device inference at all.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Federated training over simulated phones (paper §II): a fleet of devices
+// each holding private, non-IID data trains a shared next-action classifier
+// with FedAvg, then repeats the run with user-level differential privacy
+// (DP-FedAvg) and reports the (epsilon, delta) cost from the moments
+// accountant.
+//
+//   $ ./build/examples/federated_keyboard
+#include <iostream>
+
+#include "core/table.hpp"
+#include "data/synthetic.hpp"
+#include "federated/fedavg.hpp"
+#include "privacy/dp_fedavg.hpp"
+
+int main() {
+  using namespace mdl;
+
+  // 80 simulated phones with Dirichlet(0.3) label skew — every user types
+  // differently, so shards are heavily non-IID.
+  Rng rng(23);
+  data::SyntheticConfig sc;
+  sc.num_samples = 3000;
+  sc.num_features = 24;
+  sc.num_classes = 10;
+  sc.class_sep = 3.0;
+  const data::TabularDataset dataset = data::make_classification(sc, rng);
+  const data::TabularSplit split = data::train_test_split(dataset, 0.2, rng);
+  const auto shards = data::partition_dirichlet(split.train, 80, 0.3, rng);
+  std::cout << "fleet: 80 phones, " << split.train.size()
+            << " private examples total\n\n";
+
+  const federated::ModelFactory factory = federated::mlp_factory(24, 32, 10);
+
+  // --- Non-private FedAvg -------------------------------------------------
+  federated::FedAvgConfig fed_cfg;
+  fed_cfg.rounds = 25;
+  fed_cfg.clients_per_round = 20;
+  fed_cfg.local_epochs = 5;
+  federated::FedAvgTrainer fedavg(factory, shards, fed_cfg);
+  const auto history = fedavg.run(split.test);
+  std::cout << "FedAvg (E=5, 20 phones/round):\n";
+  for (std::size_t i = 4; i < history.size(); i += 5)
+    std::cout << "  round " << history[i].round << "  accuracy "
+              << history[i].test_accuracy * 100.0 << "%  comm "
+              << format_bytes(history[i].cumulative_bytes) << '\n';
+
+  // --- DP-FedAvg ----------------------------------------------------------
+  privacy::DpFedAvgConfig dp_cfg;
+  dp_cfg.rounds = 25;
+  dp_cfg.client_sample_prob = 0.5;
+  dp_cfg.local_epochs = 5;
+  dp_cfg.clip_norm = 4.0;
+  dp_cfg.noise_multiplier = 0.6;
+  privacy::DpFedAvgTrainer dp_trainer(factory, shards, dp_cfg);
+  const auto dp_history = dp_trainer.run(split.test);
+  std::cout << "\nDP-FedAvg (clip 4.0, z = 0.6, delta = 1e-5):\n";
+  for (std::size_t i = 4; i < dp_history.size(); i += 5)
+    std::cout << "  round " << dp_history[i].round << "  accuracy "
+              << dp_history[i].test_accuracy * 100.0 << "%  epsilon "
+              << dp_history[i].epsilon << '\n';
+
+  std::cout << "\nThe gap between the two runs is the price of user-level "
+               "differential privacy;\nthe paper (§II-C) reports it can be "
+               "made negligible with enough participants.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// DEEPSERVICE user identification (paper §IV-B): identify which of N users
+// produced a typing session, comparing the multi-view deep model against
+// the classical baselines of Table I.
+//
+//   $ ./build/examples/user_identification [num_users]
+#include <iostream>
+
+#include "apps/multiview_model.hpp"
+#include "core/table.hpp"
+#include "data/keystroke.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/random_forest.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdl;
+
+  const std::int64_t num_users = argc > 1 ? std::atoll(argv[1]) : 8;
+
+  // The "hard" regime of bench/table1_user_identification: users packed
+  // close together, noisy sessions, and per-user typing-context mixtures.
+  data::KeystrokeConfig kc;
+  kc.alnum_len = 24;
+  kc.special_len = 10;
+  kc.accel_len = 32;
+  kc.user_variability = 0.25;
+  kc.session_noise = 1.9;
+  kc.num_contexts = 3;
+  kc.context_spread = 0.8;
+  data::KeystrokeSimulator sim(kc);
+  Rng rng(17);
+  const data::MultiViewDataset sessions =
+      sim.user_identification_dataset(num_users, 60, rng);
+  data::MultiViewSplit split = data::train_test_split(sessions, 0.25, rng);
+  std::cout << num_users << " users, " << sessions.size() << " sessions\n\n";
+
+  // Classical baselines read aggregate features from the *unscaled* data;
+  // the deep model trains on standardized sequences.
+  const data::MultiViewDataset raw_train = split.train;
+  const data::MultiViewDataset raw_test = split.test;
+  data::MultiViewScaler scaler;
+  scaler.fit(split.train);
+  scaler.apply(split.train);
+  scaler.apply(split.test);
+
+  TablePrinter table({"Method", "Accuracy", "F1"});
+
+  // Classical baselines consume aggregated session features.
+  const data::TabularDataset train_feats = to_session_features(raw_train);
+  const data::TabularDataset test_feats = to_session_features(raw_test);
+  const auto add_baseline = [&](ml::Classifier& clf) {
+    clf.fit(train_feats);
+    table.begin_row()
+        .add(clf.name())
+        .add_percent(ml::evaluate_accuracy(clf, test_feats))
+        .add_percent(ml::evaluate_macro_f1(clf, test_feats));
+  };
+  ml::LogisticRegression lr;
+  ml::LinearSVM svm;
+  ml::RandomForest forest;
+  ml::GradientBoostedTrees gbdt;
+  add_baseline(lr);
+  add_baseline(svm);
+  add_baseline(forest);
+  add_baseline(gbdt);
+
+  // DEEPSERVICE consumes the raw multi-view sequences.
+  Rng model_rng(19);
+  apps::MultiViewModel model(
+      apps::deepservice_config(sessions.view_dims, sessions.seq_lens,
+                               num_users),
+      model_rng);
+  apps::MultiViewTrainConfig tc;
+  tc.epochs = 35;
+  apps::MultiViewTrainer trainer(model, tc);
+  trainer.train(split.train);
+  // Step-decay fine-tuning phase settles the Adam trajectory.
+  apps::MultiViewTrainConfig tc2 = tc;
+  tc2.epochs = 15;
+  tc2.lr = 0.002;
+  apps::MultiViewTrainer fine(model, tc2);
+  fine.train(split.train);
+  const apps::EvalResult ds_result = fine.evaluate(split.test);
+  table.begin_row()
+      .add("DEEPSERVICE")
+      .add_percent(ds_result.accuracy)
+      .add_percent(ds_result.macro_f1);
+
+  table.print(std::cout);
+  std::cout << "\n(cf. Table I: ensembles and DEEPSERVICE far above the "
+               "shallow linear models.\nThe calibrated full-size experiment "
+               "is bench/table1_user_identification.)\n";
+  return 0;
+}

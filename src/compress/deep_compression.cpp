@@ -1,0 +1,127 @@
+#include "compress/deep_compression.hpp"
+
+#include "compress/sparse_matrix.hpp"
+
+namespace mdl::compress {
+
+std::uint64_t CompressedModel::quantized_bytes() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) {
+    std::uint64_t count = 1;
+    for (std::int64_t d : e.shape) count *= static_cast<std::uint64_t>(d);
+    total += (count * static_cast<std::uint64_t>(e.bits) + 7) / 8 +
+             e.codebook.size() * 4;
+  }
+  return total;
+}
+
+std::uint64_t CompressedModel::compressed_bytes() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries)
+    total += e.indices.storage_bytes() + e.codebook.size() * 4;
+  return total;
+}
+
+void CompressedModel::restore_into(nn::Module& model) const {
+  const auto params = model.parameters();
+  MDL_CHECK(params.size() == entries.size(),
+            "model has " << params.size() << " parameters, artifact has "
+                         << entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    QuantizedTensor q;
+    q.shape = e.shape;
+    q.codebook = e.codebook;
+    q.bits = e.bits;
+    q.indices = huffman_decode(e.indices);
+    Tensor restored = q.dequantize();
+    MDL_CHECK(restored.same_shape(params[i]->value),
+              "parameter " << i << " shape mismatch: artifact "
+                           << restored.shape_str() << " vs model "
+                           << params[i]->value.shape_str());
+    params[i]->value = std::move(restored);
+  }
+}
+
+CompressedModel compress_model(nn::Module& model,
+                               const QuantizeConfig& config) {
+  CompressedModel cm;
+  for (nn::Parameter* p : model.parameters()) {
+    QuantizeConfig cfg = config;
+    if (p->value.ndim() < 2) cfg.bits = 8;  // biases: 8-bit, as in the paper
+    const QuantizedTensor q = quantize_kmeans(p->value, cfg);
+    CompressedModel::Entry e;
+    e.shape = q.shape;
+    e.codebook = q.codebook;
+    e.bits = q.bits;
+    e.indices = huffman_encode(
+        q.indices, static_cast<std::uint32_t>(q.codebook.size()));
+    cm.entries.push_back(std::move(e));
+  }
+  return cm;
+}
+
+std::uint64_t model_dense_bytes(nn::Module& model) {
+  std::uint64_t total = 0;
+  for (nn::Parameter* p : model.parameters())
+    total += static_cast<std::uint64_t>(p->value.size()) * 4;
+  return total;
+}
+
+std::uint64_t model_pruned_bytes(nn::Module& model) {
+  std::uint64_t total = 0;
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->value.ndim() == 2) {
+      total += CsrMatrix::from_dense(p->value).storage_bytes();
+    } else {
+      total += static_cast<std::uint64_t>(p->value.size()) * 4;
+    }
+  }
+  return total;
+}
+
+void write_compressed(BinaryWriter& w, const CompressedModel& cm) {
+  write_archive_header(w, 2);
+  w.write_u32(static_cast<std::uint32_t>(cm.entries.size()));
+  for (const CompressedModel::Entry& e : cm.entries) {
+    w.write_u32(static_cast<std::uint32_t>(e.shape.size()));
+    for (std::int64_t d : e.shape) w.write_i64(d);
+    w.write_u8(static_cast<std::uint8_t>(e.bits));
+    w.write_f32_vector(e.codebook);
+    w.write_u32(e.indices.alphabet_size);
+    w.write_u64(e.indices.symbol_count);
+    w.write_u64(e.indices.code_lengths.size());
+    w.write_bytes(e.indices.code_lengths.data(), e.indices.code_lengths.size());
+    w.write_u64(e.indices.payload.size());
+    w.write_bytes(e.indices.payload.data(), e.indices.payload.size());
+  }
+}
+
+CompressedModel read_compressed(BinaryReader& r) {
+  const std::uint32_t version = read_archive_header(r);
+  MDL_CHECK(version == 2, "unsupported artifact version " << version);
+  CompressedModel cm;
+  const std::uint32_t n = r.read_u32();
+  cm.entries.resize(n);
+  for (CompressedModel::Entry& e : cm.entries) {
+    const std::uint32_t nd = r.read_u32();
+    MDL_CHECK(nd <= 8, "implausible rank");
+    e.shape.resize(nd);
+    for (auto& d : e.shape) d = r.read_i64();
+    e.bits = r.read_u8();
+    e.codebook = r.read_f32_vector();
+    e.indices.alphabet_size = r.read_u32();
+    e.indices.symbol_count = r.read_u64();
+    const std::uint64_t len_count = r.read_u64();
+    MDL_CHECK(len_count < (1ULL << 24), "implausible code-length table");
+    e.indices.code_lengths.resize(len_count);
+    r.read_bytes(e.indices.code_lengths.data(), len_count);
+    const std::uint64_t payload_size = r.read_u64();
+    MDL_CHECK(payload_size < (1ULL << 32), "implausible payload");
+    e.indices.payload.resize(payload_size);
+    r.read_bytes(e.indices.payload.data(), payload_size);
+  }
+  return cm;
+}
+
+}  // namespace mdl::compress

@@ -1,0 +1,54 @@
+// The three-stage Deep Compression pipeline (Han, Mao & Dally, ICLR'16)
+// cited by §III-B: magnitude pruning -> k-means weight sharing -> Huffman
+// coding, with exact storage accounting at every stage. One simplification
+// is documented in DESIGN.md: Huffman coding is applied to the full
+// quantization-index stream (where the pruned-zero symbol dominates) rather
+// than to separate relative-index streams; the entropy structure exploited
+// is the same.
+#pragma once
+
+#include "compress/huffman.hpp"
+#include "compress/quantize.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::compress {
+
+/// A fully compressed model: per parameter, a codebook plus Huffman-coded
+/// index stream. Restorable into a live model for accuracy measurement.
+struct CompressedModel {
+  struct Entry {
+    std::vector<std::int64_t> shape;
+    std::vector<float> codebook;
+    int bits = 0;
+    HuffmanEncoded indices;
+  };
+  std::vector<Entry> entries;
+
+  /// Bytes of the quantized-but-not-entropy-coded form (packed indices +
+  /// codebooks) — the "P + Q" row of the compression table.
+  std::uint64_t quantized_bytes() const;
+  /// Bytes of the final artifact (Huffman payloads + tables + codebooks).
+  std::uint64_t compressed_bytes() const;
+
+  /// Writes parameter values back into `model` (shapes must match).
+  void restore_into(nn::Module& model) const;
+};
+
+/// Quantizes every parameter of (a typically pruned) `model` and Huffman-
+/// codes the index streams. Biases/1-D parameters are quantized at 8 bits
+/// regardless of `config.bits`, as in the original paper.
+CompressedModel compress_model(nn::Module& model,
+                               const QuantizeConfig& config);
+
+/// Uncompressed float32 size of all parameters.
+std::uint64_t model_dense_bytes(nn::Module& model);
+
+/// Size of the pruned model stored in CSR (2-D params) + dense (rest) —
+/// the "P" row of the compression table.
+std::uint64_t model_pruned_bytes(nn::Module& model);
+
+/// Full artifact serialization (what would ship inside the mobile app).
+void write_compressed(BinaryWriter& w, const CompressedModel& cm);
+CompressedModel read_compressed(BinaryReader& r);
+
+}  // namespace mdl::compress

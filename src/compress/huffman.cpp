@@ -1,0 +1,188 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace mdl::compress {
+namespace {
+
+/// Computes code lengths via the standard two-queue / priority-queue
+/// Huffman construction over symbol frequencies.
+std::vector<std::uint8_t> compute_code_lengths(
+    const std::vector<std::uint64_t>& freq) {
+  const std::size_t n = freq.size();
+  struct Node {
+    std::uint64_t weight;
+    std::int32_t left, right;   // -1 for leaves
+    std::int32_t symbol;        // -1 for internal
+  };
+  std::vector<Node> nodes;
+  using Entry = std::pair<std::uint64_t, std::int32_t>;  // (weight, node id)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back({freq[s], -1, -1, static_cast<std::int32_t>(s)});
+    heap.emplace(freq[s], static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  std::vector<std::uint8_t> lengths(n, 0);
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, -1});
+    heap.emplace(wa + wb, static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  // DFS to assign depths.
+  struct Frame {
+    std::int32_t node;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(f.node)];
+    if (nd.symbol >= 0) {
+      lengths[static_cast<std::size_t>(nd.symbol)] = std::max<std::uint8_t>(f.depth, 1);
+    } else {
+      stack.push_back({nd.left, static_cast<std::uint8_t>(f.depth + 1)});
+      stack.push_back({nd.right, static_cast<std::uint8_t>(f.depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, symbol).
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  std::vector<std::size_t> order;
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] > 0) order.push_back(s);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lengths[a] != lengths[b] ? lengths[a] < lengths[b] : a < b;
+  });
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  std::uint32_t code = 0;
+  std::uint8_t prev_len = 0;
+  for (const std::size_t s : order) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+}  // namespace
+
+HuffmanEncoded huffman_encode(std::span<const std::uint32_t> symbols,
+                              std::uint32_t alphabet_size) {
+  MDL_CHECK(alphabet_size > 0, "alphabet must be non-empty");
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (const std::uint32_t s : symbols) {
+    MDL_CHECK(s < alphabet_size, "symbol " << s << " outside alphabet of "
+                                           << alphabet_size);
+    ++freq[s];
+  }
+
+  HuffmanEncoded enc;
+  enc.alphabet_size = alphabet_size;
+  enc.symbol_count = symbols.size();
+  enc.code_lengths = compute_code_lengths(freq);
+  const auto codes = canonical_codes(enc.code_lengths);
+
+  // Pack MSB-first.
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (const std::uint32_t s : symbols) {
+    const std::uint8_t len = enc.code_lengths[s];
+    acc = (acc << len) | codes[s];
+    acc_bits += len;
+    while (acc_bits >= 8) {
+      enc.payload.push_back(
+          static_cast<std::uint8_t>((acc >> (acc_bits - 8)) & 0xFF));
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0)
+    enc.payload.push_back(
+        static_cast<std::uint8_t>((acc << (8 - acc_bits)) & 0xFF));
+  return enc;
+}
+
+std::vector<std::uint32_t> huffman_decode(const HuffmanEncoded& enc) {
+  std::vector<std::uint32_t> out;
+  out.reserve(enc.symbol_count);
+  if (enc.symbol_count == 0) return out;
+
+  const auto codes = canonical_codes(enc.code_lengths);
+  // Group symbols by length for first-code/first-index decoding.
+  std::uint8_t max_len = 0;
+  for (const std::uint8_t l : enc.code_lengths) max_len = std::max(max_len, l);
+  MDL_CHECK(max_len > 0, "encoded stream has no code lengths");
+
+  // For each length: sorted list of (code, symbol).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> by_len(
+      static_cast<std::size_t>(max_len) + 1);
+  for (std::size_t s = 0; s < enc.code_lengths.size(); ++s)
+    if (enc.code_lengths[s] > 0)
+      by_len[enc.code_lengths[s]].emplace_back(codes[s],
+                                               static_cast<std::uint32_t>(s));
+  for (auto& v : by_len) std::sort(v.begin(), v.end());
+
+  std::uint32_t code = 0;
+  std::uint8_t len = 0;
+  std::size_t bit_pos = 0;
+  const std::size_t total_bits = enc.payload.size() * 8;
+  while (out.size() < enc.symbol_count) {
+    MDL_CHECK(bit_pos < total_bits, "truncated Huffman payload");
+    const std::uint8_t byte = enc.payload[bit_pos / 8];
+    const int bit = (byte >> (7 - bit_pos % 8)) & 1;
+    ++bit_pos;
+    code = (code << 1) | static_cast<std::uint32_t>(bit);
+    ++len;
+    MDL_CHECK(len <= max_len, "invalid Huffman stream (code too long)");
+    const auto& bucket = by_len[len];
+    if (!bucket.empty() && code >= bucket.front().first &&
+        code <= bucket.back().first) {
+      const auto it = std::lower_bound(
+          bucket.begin(), bucket.end(), std::make_pair(code, std::uint32_t{0}));
+      if (it != bucket.end() && it->first == code) {
+        out.push_back(it->second);
+        code = 0;
+        len = 0;
+      }
+    }
+  }
+  return out;
+}
+
+double stream_entropy_bits(std::span<const std::uint32_t> symbols,
+                           std::uint32_t alphabet_size) {
+  if (symbols.empty()) return 0.0;
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (const std::uint32_t s : symbols) {
+    MDL_CHECK(s < alphabet_size, "symbol outside alphabet");
+    ++freq[s];
+  }
+  const double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (const std::uint64_t f : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace mdl::compress

@@ -1,0 +1,41 @@
+// Canonical Huffman coding — stage 3 of Deep Compression: entropy-codes the
+// quantization indices (whose distribution is highly skewed after pruning,
+// since the zero index dominates).
+//
+// Canonical codes let the table be stored as just the per-symbol code
+// lengths, which is what the artifact serializer writes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mdl::compress {
+
+/// A Huffman-encoded symbol stream.
+struct HuffmanEncoded {
+  std::uint32_t alphabet_size = 0;
+  std::vector<std::uint8_t> code_lengths;  ///< per symbol; 0 = unused
+  std::vector<std::uint8_t> payload;       ///< packed bitstream
+  std::uint64_t symbol_count = 0;
+
+  /// Deployable bytes: payload + one byte per alphabet symbol for lengths.
+  std::uint64_t storage_bytes() const {
+    return payload.size() + code_lengths.size() + 16;
+  }
+};
+
+/// Builds a canonical Huffman code for `symbols` (values < alphabet_size)
+/// and encodes them. Handles the degenerate one-distinct-symbol case.
+HuffmanEncoded huffman_encode(std::span<const std::uint32_t> symbols,
+                              std::uint32_t alphabet_size);
+
+/// Inverse of huffman_encode.
+std::vector<std::uint32_t> huffman_decode(const HuffmanEncoded& enc);
+
+/// Shannon entropy (bits/symbol) of the stream — lower bound for the
+/// achieved code length, reported by the compression bench.
+double stream_entropy_bits(std::span<const std::uint32_t> symbols,
+                           std::uint32_t alphabet_size);
+
+}  // namespace mdl::compress

@@ -1,0 +1,120 @@
+#include "compress/int8.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+
+namespace mdl::compress {
+
+Int8Linear::Int8Linear(const nn::Linear& linear)
+    : in_(linear.in_features()),
+      out_(linear.out_features()),
+      weights_(static_cast<std::size_t>(in_ * out_)),
+      row_scales_(static_cast<std::size_t>(out_)) {
+  const Tensor& w = linear.weight().value;
+  for (std::int64_t r = 0; r < out_; ++r) {
+    float max_abs = 0.0F;
+    for (std::int64_t c = 0; c < in_; ++c)
+      max_abs = std::max(max_abs, std::abs(w[r * in_ + c]));
+    const float scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+    row_scales_[static_cast<std::size_t>(r)] = scale;
+    for (std::int64_t c = 0; c < in_; ++c) {
+      const float q = std::round(w[r * in_ + c] / scale);
+      weights_[static_cast<std::size_t>(r * in_ + c)] =
+          static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F));
+    }
+  }
+  if (linear.has_bias()) {
+    const Tensor& b = const_cast<nn::Linear&>(linear).bias().value;
+    bias_.assign(b.data(), b.data() + b.size());
+  }
+}
+
+Tensor Int8Linear::forward(const Tensor& x) {
+  MDL_CHECK(x.ndim() == 2 && x.shape(1) == in_,
+            "Int8Linear(" << in_ << "->" << out_ << ") got "
+                          << x.shape_str());
+  const std::int64_t batch = x.shape(0);
+  Tensor y({batch, out_});
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(in_));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    // Dynamic per-row activation quantization (symmetric).
+    const float* xin = x.data() + n * in_;
+    float max_abs = 0.0F;
+    for (std::int64_t c = 0; c < in_; ++c)
+      max_abs = std::max(max_abs, std::abs(xin[c]));
+    const float x_scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+    for (std::int64_t c = 0; c < in_; ++c)
+      xq[static_cast<std::size_t>(c)] = static_cast<std::int8_t>(
+          std::clamp(std::round(xin[c] / x_scale), -127.0F, 127.0F));
+
+    for (std::int64_t r = 0; r < out_; ++r) {
+      // Integer hot loop: int8 x int8 -> int32 accumulate.
+      const std::int8_t* wrow = weights_.data() + r * in_;
+      std::int32_t acc = 0;
+      for (std::int64_t c = 0; c < in_; ++c)
+        acc += static_cast<std::int32_t>(wrow[c]) *
+               static_cast<std::int32_t>(xq[static_cast<std::size_t>(c)]);
+      float out = static_cast<float>(acc) *
+                  row_scales_[static_cast<std::size_t>(r)] * x_scale;
+      if (!bias_.empty()) out += bias_[static_cast<std::size_t>(r)];
+      y[n * out_ + r] = out;
+    }
+  }
+  return y;
+}
+
+Tensor Int8Linear::backward(const Tensor& /*grad_out*/) {
+  MDL_FAIL("Int8Linear is inference-only (train in float, then quantize)");
+}
+
+std::string Int8Linear::name() const {
+  std::ostringstream os;
+  os << "Int8Linear(" << in_ << "->" << out_ << ')';
+  return os.str();
+}
+
+std::int64_t Int8Linear::flops_per_example() const {
+  return 2 * in_ * out_ + (bias_.empty() ? 0 : out_);
+}
+
+std::uint64_t Int8Linear::storage_bytes() const {
+  return weights_.size() + row_scales_.size() * 4 + bias_.size() * 4;
+}
+
+Tensor Int8Linear::dequantized_weight() const {
+  Tensor w({out_, in_});
+  for (std::int64_t r = 0; r < out_; ++r)
+    for (std::int64_t c = 0; c < in_; ++c)
+      w[r * in_ + c] =
+          static_cast<float>(weights_[static_cast<std::size_t>(r * in_ + c)]) *
+          row_scales_[static_cast<std::size_t>(r)];
+  return w;
+}
+
+std::unique_ptr<nn::Sequential> int8_quantize_mlp(nn::Sequential& model) {
+  auto out = std::make_unique<nn::Sequential>();
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    nn::Module& layer = model.layer(i);
+    if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
+      out->append(std::make_unique<Int8Linear>(*lin));
+    } else if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      out->emplace<nn::ReLU>();
+    } else if (dynamic_cast<nn::Sigmoid*>(&layer) != nullptr) {
+      out->emplace<nn::Sigmoid>();
+    } else if (dynamic_cast<nn::Tanh*>(&layer) != nullptr) {
+      out->emplace<nn::Tanh>();
+    } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
+      // Dropout is identity at inference; drop it from the deployed graph.
+    } else {
+      MDL_FAIL("int8_quantize_mlp cannot rebuild layer " << layer.name());
+    }
+  }
+  out->set_training(false);
+  return out;
+}
+
+}  // namespace mdl::compress

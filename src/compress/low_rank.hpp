@@ -1,0 +1,54 @@
+// Low-rank factorization (§III-B): a fully connected layer's [out, in]
+// weight is a 2-D matrix whose redundancy can be removed by a truncated
+// SVD, replacing one Linear with two thin Linears
+//   W ~= B A,   B = U_r diag(S_r) in [out, r],   A = V_r^T in [r, in],
+// cutting both storage and multiply count from out*in to r*(out+in).
+//
+// The SVD itself is computed from scratch with one-sided Jacobi rotations —
+// slow but simple, numerically robust, and exact enough for the layer sizes
+// mobile models use.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/tensor.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::compress {
+
+/// Thin SVD A = U diag(S) V^T with singular values sorted descending.
+struct Svd {
+  Tensor u;  ///< [m, r]
+  Tensor s;  ///< [r]
+  Tensor v;  ///< [n, r]
+};
+
+/// One-sided Jacobi SVD of a 2-D tensor. `max_sweeps` bounds the outer
+/// iteration; convergence is declared when all column pairs are orthogonal
+/// to within `tol` (relative).
+Svd svd_jacobi(const Tensor& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// Rank-`rank` reconstruction U_r diag(S_r) V_r^T.
+Tensor low_rank_approx(const Svd& svd, std::int64_t rank);
+
+/// Splits weight [out, in] into {B [out, rank], A [rank, in]} with
+/// W ~= B @ A (singular values folded into B).
+std::pair<Tensor, Tensor> factorize_weight(const Tensor& w,
+                                           std::int64_t rank);
+
+/// Rebuilds a Sequential where every Linear whose min(in, out) exceeds
+/// `rank` is replaced by the bias-free Linear(in->rank) followed by
+/// Linear(rank->out) carrying the original bias. Other layers must be
+/// stateless (activations/dropout are re-created as pass-through is not
+/// possible, so this helper only accepts Linear / ReLU / Sigmoid / Tanh).
+std::unique_ptr<nn::Sequential> low_rank_factorize_mlp(nn::Sequential& model,
+                                                       std::int64_t rank,
+                                                       Rng& rng);
+
+/// Parameter count of the factorized form of one [out, in] layer.
+std::int64_t low_rank_param_count(std::int64_t out, std::int64_t in,
+                                  std::int64_t rank);
+
+}  // namespace mdl::compress

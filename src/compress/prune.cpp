@@ -1,0 +1,84 @@
+#include "compress/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mdl::compress {
+
+float prune_by_magnitude(Tensor& t, double sparsity) {
+  MDL_CHECK(sparsity >= 0.0 && sparsity < 1.0,
+            "sparsity must be in [0, 1), got " << sparsity);
+  if (sparsity == 0.0 || t.empty()) return 0.0F;
+  const auto n = static_cast<std::size_t>(t.size());
+  const auto drop = static_cast<std::size_t>(
+      std::llround(sparsity * static_cast<double>(n)));
+  if (drop == 0) return 0.0F;
+
+  std::vector<float> mags(n);
+  for (std::size_t i = 0; i < n; ++i)
+    mags[i] = std::abs(t[static_cast<std::int64_t>(i)]);
+  std::nth_element(mags.begin(),
+                   mags.begin() + static_cast<std::ptrdiff_t>(drop - 1),
+                   mags.end());
+  const float threshold = mags[drop - 1];
+
+  // Zero everything strictly below, then zero ties until the exact count.
+  std::size_t zeroed = 0;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    if (std::abs(t[i]) < threshold && t[i] != 0.0F) {
+      t[i] = 0.0F;
+      ++zeroed;
+    }
+  }
+  for (std::int64_t i = 0; i < t.size() && zeroed < drop; ++i) {
+    if (t[i] != 0.0F && std::abs(t[i]) == threshold) {
+      t[i] = 0.0F;
+      ++zeroed;
+    }
+  }
+  return threshold;
+}
+
+double prune_model(nn::Module& model, double sparsity) {
+  std::int64_t total = 0, zeros = 0;
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->value.ndim() != 2) continue;  // weights only
+    prune_by_magnitude(p->value, sparsity);
+    total += p->value.size();
+    for (std::int64_t i = 0; i < p->value.size(); ++i)
+      if (p->value[i] == 0.0F) ++zeros;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+double measure_sparsity(const Tensor& t) {
+  if (t.empty()) return 0.0;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < t.size(); ++i)
+    if (t[i] == 0.0F) ++zeros;
+  return static_cast<double>(zeros) / static_cast<double>(t.size());
+}
+
+double measure_model_sparsity(nn::Module& model) {
+  std::int64_t total = 0, zeros = 0;
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->value.ndim() != 2) continue;
+    total += p->value.size();
+    for (std::int64_t i = 0; i < p->value.size(); ++i)
+      if (p->value[i] == 0.0F) ++zeros;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+void mask_pruned_gradients(nn::Module& model) {
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->value.ndim() != 2) continue;
+    for (std::int64_t i = 0; i < p->value.size(); ++i)
+      if (p->value[i] == 0.0F) p->grad[i] = 0.0F;
+  }
+}
+
+}  // namespace mdl::compress

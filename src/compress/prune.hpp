@@ -1,0 +1,32 @@
+// Magnitude pruning (Han et al., NIPS'15) — "learning only the important
+// connections", stage 1 of Deep Compression (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/tensor.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::compress {
+
+/// Zeroes the `sparsity` fraction of smallest-magnitude entries of `t`.
+/// Returns the magnitude threshold used (entries with |v| <= threshold were
+/// dropped, except as needed to hit the exact count).
+float prune_by_magnitude(Tensor& t, double sparsity);
+
+/// Prunes every *weight* parameter of the model (parameters whose tensor is
+/// 2-D; biases are left dense, as in the original paper). Returns the
+/// overall fraction of zeroed weights.
+double prune_model(nn::Module& model, double sparsity);
+
+/// Fraction of exactly-zero entries.
+double measure_sparsity(const Tensor& t);
+double measure_model_sparsity(nn::Module& model);
+
+/// Re-applies the zero pattern of `mask_source` onto gradients so pruned
+/// connections stay pruned during fine-tuning: call after backward, before
+/// the optimizer step.
+void mask_pruned_gradients(nn::Module& model);
+
+}  // namespace mdl::compress

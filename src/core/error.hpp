@@ -1,0 +1,57 @@
+// Error handling primitives for mobiledl.
+//
+// The library reports precondition violations and runtime failures by
+// throwing `mdl::Error` (derived from std::runtime_error). The MDL_CHECK
+// family of macros evaluates a condition and throws with file/line context
+// and a formatted message on failure. Checks are always on: the cost is
+// negligible next to the numeric kernels and the diagnostics are invaluable
+// in a library meant to be embedded in other systems.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdl {
+
+/// Exception type thrown by all mobiledl components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds "file:line: check `expr` failed: msg" and throws mdl::Error.
+[[noreturn]] inline void throw_check_failure(const char* file, int line,
+                                             const char* expr,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace mdl
+
+/// Throws mdl::Error if `cond` is false. Usage:
+///   MDL_CHECK(n > 0, "n must be positive, got " << n);
+#define MDL_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream mdl_check_os_;                                   \
+      mdl_check_os_ << "" __VA_ARGS__;                                    \
+      ::mdl::detail::throw_check_failure(__FILE__, __LINE__, #cond,       \
+                                         mdl_check_os_.str());            \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure with message.
+#define MDL_FAIL(...)                                                     \
+  do {                                                                    \
+    std::ostringstream mdl_check_os_;                                     \
+    mdl_check_os_ << "" __VA_ARGS__;                                      \
+    ::mdl::detail::throw_check_failure(__FILE__, __LINE__, "false",       \
+                                       mdl_check_os_.str());              \
+  } while (false)

@@ -1,0 +1,84 @@
+#include "core/fft.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mdl {
+
+void fft(std::span<std::complex<double>> a, bool inverse) {
+  const std::size_t n = a.size();
+  MDL_CHECK(is_power_of_two(n), "FFT size must be a power of two, got " << n);
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+namespace {
+
+std::vector<std::complex<double>> to_complex(std::span<const float> v) {
+  std::vector<std::complex<double>> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = {v[i], 0.0};
+  return out;
+}
+
+std::vector<float> real_part(std::span<const std::complex<double>> v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = static_cast<float>(v[i].real());
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> circular_convolve(std::span<const float> a,
+                                     std::span<const float> b) {
+  MDL_CHECK(a.size() == b.size(), "convolution length mismatch");
+  auto fa = to_complex(a);
+  auto fb = to_complex(b);
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  fft(fa, true);
+  return real_part(fa);
+}
+
+std::vector<float> circular_correlate(std::span<const float> a,
+                                      std::span<const float> b) {
+  MDL_CHECK(a.size() == b.size(), "correlation length mismatch");
+  auto fa = to_complex(a);
+  auto fb = to_complex(b);
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
+  fft(fa, true);
+  return real_part(fa);
+}
+
+}  // namespace mdl

@@ -1,0 +1,35 @@
+// Radix-2 fast Fourier transform.
+//
+// Substrate for the block-circulant compression of §III-B (CirCNN, Ding et
+// al.): a circulant matrix-vector product is a circular convolution, which
+// FFT reduces from O(b^2) to O(b log b). Sizes are powers of two.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mdl {
+
+/// In-place iterative radix-2 decimation-in-time FFT. `a.size()` must be a
+/// power of two. When `inverse` is set, computes the inverse transform
+/// including the 1/n normalization.
+void fft(std::span<std::complex<double>> a, bool inverse);
+
+/// Circular convolution of two equal-length power-of-two real signals via
+/// FFT: out[i] = sum_j a[(i - j) mod n] * b[j].
+std::vector<float> circular_convolve(std::span<const float> a,
+                                     std::span<const float> b);
+
+/// Circular cross-correlation: out[k] = sum_i a[i] * b[(i - k) mod n]
+/// (the adjoint of circular convolution; used by the circulant backward
+/// pass).
+std::vector<float> circular_correlate(std::span<const float> a,
+                                      std::span<const float> b);
+
+/// True if n is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace mdl

@@ -1,0 +1,89 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mdl {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MDL_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+TablePrinter& TablePrinter::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(const std::string& cell) {
+  MDL_CHECK(!rows_.empty(), "call begin_row() before add()");
+  MDL_CHECK(rows_.back().size() < headers_.size(),
+            "row already has " << headers_.size() << " cells");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+TablePrinter& TablePrinter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::add_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return add(os.str());
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      os << (c + 1 < headers_.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(u == 0 ? 0 : 1) << v << ' '
+     << units[u];
+  return os.str();
+}
+
+}  // namespace mdl

@@ -1,0 +1,39 @@
+// Aligned-table formatting for the benchmark harnesses.
+//
+// Every experiment bench prints the rows/series of its paper table or figure
+// through TablePrinter so output across benches is uniform and diff-able.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mdl {
+
+/// Collects string/number cells and prints a column-aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with add().
+  TablePrinter& begin_row();
+  TablePrinter& add(const std::string& cell);
+  TablePrinter& add(double value, int precision = 4);
+  TablePrinter& add(std::int64_t value);
+  /// Formats value as a percentage with the given precision ("93.21%").
+  TablePrinter& add_percent(double fraction, int precision = 2);
+
+  /// Writes the table, column-aligned, with a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count as a human-readable string ("12.4 KiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace mdl

@@ -1,0 +1,73 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mdl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  auto fut = task.get_future();
+  {
+    std::lock_guard lock(mu_);
+    jobs_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      task = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& f) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min(pool->num_threads(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futs.push_back(pool->submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        f(i);
+      }
+    }));
+  }
+  for (auto& fut : futs) fut.get();
+}
+
+}  // namespace mdl

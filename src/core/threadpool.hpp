@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool with a parallel-for helper.
+//
+// Used by the random forest trainer and the benchmark sweeps. On a
+// single-core host the pool degrades gracefully to sequential execution
+// (parallel_for with one worker runs inline), so results are deterministic
+// whenever the per-item work is deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mdl {
+
+/// Fixed pool of worker threads executing queued std::function jobs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> job);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs f(i) for i in [0, n) across `pool`'s workers, blocking until all
+/// iterations finish. With a null pool or a single worker, runs inline.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& f);
+
+}  // namespace mdl

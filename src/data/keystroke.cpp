@@ -1,0 +1,338 @@
+#include "data/keystroke.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdl::data {
+namespace {
+
+constexpr double kAccelDt = 0.060;  // 60 ms sampling, as in BiAffect
+
+double clamp_pos(double v, double lo = 1e-4) { return std::max(v, lo); }
+
+}  // namespace
+
+KeystrokeSimulator::KeystrokeSimulator(KeystrokeConfig config)
+    : config_(config) {
+  MDL_CHECK(config_.alnum_len > 0 && config_.special_len > 0 &&
+                config_.accel_len > 0,
+            "sequence lengths must be positive");
+  MDL_CHECK(config_.user_variability >= 0.0 && config_.session_noise >= 0.0 &&
+                config_.mood_effect >= 0.0,
+            "noise knobs must be >= 0");
+}
+
+UserProfile KeystrokeSimulator::sample_user(Rng& rng) const {
+  const double uv = config_.user_variability;
+  UserProfile u;
+  u.hold_mean = clamp_pos(0.12 * std::exp(rng.normal(0.0, 0.25 * uv)));
+  u.hold_std = clamp_pos(u.hold_mean * (0.20 + 0.10 * uv * rng.uniform()));
+  u.gap_mean = clamp_pos(0.25 * std::exp(rng.normal(0.0, 0.35 * uv)));
+  u.gap_std = clamp_pos(u.gap_mean * (0.30 + 0.15 * uv * rng.uniform()));
+  u.travel_x = clamp_pos(2.0 * std::exp(rng.normal(0.0, 0.20 * uv)));
+  u.travel_y = clamp_pos(0.8 * std::exp(rng.normal(0.0, 0.20 * uv)));
+  u.keys_per_session = clamp_pos(40.0 * std::exp(rng.normal(0.0, 0.4 * uv)), 8.0);
+  u.special_rate = std::clamp(0.18 + 0.08 * uv * rng.normal(), 0.05, 0.5);
+  const auto prefs = rng.dirichlet(kNumSpecialKeys, 1.2 / std::max(uv, 0.25));
+  std::copy(prefs.begin(), prefs.end(), u.special_prefs.begin());
+  // Resting orientation: mostly gravity on z with a per-user tilt.
+  u.gravity = {0.15 * uv * rng.normal(), 0.15 * uv * rng.normal(),
+               1.0 + 0.05 * uv * rng.normal()};
+  u.tremor_amp = clamp_pos(0.05 * std::exp(rng.normal(0.0, 0.5 * uv)));
+  u.tremor_freq = std::clamp(7.0 + 2.0 * uv * rng.normal(), 3.0, 12.0);
+  u.motion_amp = clamp_pos(0.12 * std::exp(rng.normal(0.0, 0.4 * uv)));
+  u.mood_sensitivity = std::clamp(1.0 + 0.4 * rng.normal(), 0.3, 2.0);
+  if (config_.num_contexts > 1) {
+    const double cs = config_.context_spread;
+    u.contexts.resize(static_cast<std::size_t>(config_.num_contexts));
+    for (ContextMode& m : u.contexts) {
+      m.hold_mul = std::exp(rng.normal(0.0, cs));
+      m.gap_mul = std::exp(rng.normal(0.0, cs));
+      m.travel_mul = std::exp(rng.normal(0.0, 0.5 * cs));
+      m.tremor_mul = std::exp(rng.normal(0.0, cs));
+      m.motion_mul = std::exp(rng.normal(0.0, cs));
+      m.gravity_shift = {0.3 * cs * rng.normal(), 0.3 * cs * rng.normal(),
+                         0.1 * cs * rng.normal()};
+    }
+  }
+  return u;
+}
+
+MultiViewExample KeystrokeSimulator::generate_session(
+    const UserProfile& base_user, int mood, Rng& rng) const {
+  MDL_CHECK(mood == 0 || mood == 1, "mood must be 0 or 1, got " << mood);
+  // Resolve the typing context for this session: the effective profile is
+  // the base profile modulated by one of the user's context modes.
+  UserProfile user = base_user;
+  if (!base_user.contexts.empty()) {
+    const auto& m = base_user.contexts[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(base_user.contexts.size())))];
+    user.hold_mean *= m.hold_mul;
+    user.gap_mean *= m.gap_mul;
+    user.travel_x *= m.travel_mul;
+    user.travel_y *= m.travel_mul;
+    user.tremor_amp *= m.tremor_mul;
+    user.motion_amp *= m.motion_mul;
+    for (int a = 0; a < 3; ++a) user.gravity[a] += m.gravity_shift[a];
+  }
+  const double sn = config_.session_noise;
+  // Mood modulation: psychomotor retardation slows typing, increases
+  // correction keys, damps gross motion, slightly raises tremor.
+  const double m = mood == 1 ? config_.mood_effect * user.mood_sensitivity : 0.0;
+  const double hold_mul = 1.0 + 0.22 * m;
+  const double gap_mul = 1.0 + 0.35 * m;
+  const double keys_mul = 1.0 - 0.20 * std::min(m, 2.0) * 0.5;
+  const double motion_mul = 1.0 - 0.30 * std::min(m, 2.0) * 0.5;
+  const double tremor_mul = 1.0 + 0.25 * m;
+
+  // Session-level drift around the user profile.
+  const double hold_mean =
+      clamp_pos(user.hold_mean * hold_mul * std::exp(rng.normal(0.0, 0.08 * sn)));
+  const double gap_mean =
+      clamp_pos(user.gap_mean * gap_mul * std::exp(rng.normal(0.0, 0.12 * sn)));
+
+  MultiViewExample ex;
+  ex.views.reserve(3);
+
+  // --- View 1: alphanumeric keypresses [alnum_len, 4] ----------------------
+  const double expect_keys = clamp_pos(user.keys_per_session * keys_mul, 4.0);
+  std::int64_t key_count = std::max<std::int64_t>(
+      4, static_cast<std::int64_t>(
+             std::llround(expect_keys * std::exp(rng.normal(0.0, 0.25 * sn)))));
+  key_count = std::min(key_count, config_.alnum_len);
+
+  // Within-session gap trend: a disturbed state produces progressive
+  // slowing over the session (psychomotor fatigue), while euthymic sessions
+  // drift in a random direction of comparable magnitude. The trend is
+  // centred so the session *mean* gap is unchanged and its magnitude
+  // distribution overlaps across states — the signal lives in the temporal
+  // order of the sequence, which is what separates sequence models from
+  // aggregate-feature baselines in the DeepMood comparison (§IV-A).
+  // Disturbed sessions slow down (positive drift); euthymic sessions show
+  // the usual warm-up speed-up (negative drift) of the same magnitude.
+  double drift = rng.uniform(0.35, 0.7) * std::min(config_.mood_effect, 1.5);
+  if (mood == 0) drift = -drift;
+
+  Tensor alnum({config_.alnum_len, 4});
+  for (std::int64_t t = 0; t < key_count; ++t) {
+    const double progress =
+        key_count > 1
+            ? static_cast<double>(t) / static_cast<double>(key_count - 1) - 0.5
+            : 0.0;
+    const double trend = 1.0 + drift * progress;
+    const double hold =
+        clamp_pos(rng.normal(hold_mean, user.hold_std * sn), 0.01);
+    const double gap = clamp_pos(
+        trend * rng.normal(gap_mean, user.gap_std * sn), 0.01);
+    const double dx = rng.normal(0.0, user.travel_x);
+    const double dy = rng.normal(0.0, user.travel_y);
+    alnum[t * 4 + 0] = static_cast<float>(hold);
+    alnum[t * 4 + 1] = static_cast<float>(gap);
+    alnum[t * 4 + 2] = static_cast<float>(dx);
+    alnum[t * 4 + 3] = static_cast<float>(dy);
+  }
+  ex.views.push_back(std::move(alnum));
+
+  // --- View 2: special characters [special_len, 6] one-hot ----------------
+  // Mood shifts preference mass toward correction keys (auto-correct = 0,
+  // backspace = 1).
+  std::array<double, kNumSpecialKeys> prefs = user.special_prefs;
+  if (m > 0.0) {
+    const double shift = std::min(0.25 * m, 0.5);
+    for (auto& p : prefs) p *= 1.0 - shift;
+    prefs[0] += shift * 0.45;
+    prefs[1] += shift * 0.55;
+  }
+  Tensor special({config_.special_len, kNumSpecialKeys});
+  const std::int64_t special_count = std::max<std::int64_t>(
+      2, std::min(config_.special_len,
+                  static_cast<std::int64_t>(std::llround(
+                      user.special_rate * static_cast<double>(key_count) /
+                      (1.0 - user.special_rate)))));
+  for (std::int64_t t = 0; t < special_count; ++t) {
+    const std::size_t k = rng.categorical(prefs);
+    special[t * kNumSpecialKeys + static_cast<std::int64_t>(k)] = 1.0F;
+  }
+  ex.views.push_back(std::move(special));
+
+  // --- View 3: accelerometer [accel_len, 3] -------------------------------
+  Tensor accel({config_.accel_len, 3});
+  const double tremor_amp = user.tremor_amp * tremor_mul;
+  const double motion_amp = user.motion_amp * motion_mul;
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  // Slow gross motion as a random walk; per-axis coupling through shared
+  // components creates the cross-axis correlations Fig. 6 visualizes.
+  double walk_x = 0.0, walk_y = 0.0;
+  for (std::int64_t t = 0; t < config_.accel_len; ++t) {
+    const double time = static_cast<double>(t) * kAccelDt;
+    walk_x += rng.normal(0.0, motion_amp * 0.2);
+    walk_y += rng.normal(0.0, motion_amp * 0.2);
+    const double tremor =
+        tremor_amp * std::sin(2.0 * M_PI * user.tremor_freq * time + phase);
+    const double noise_scale = 0.01 * sn;
+    accel[t * 3 + 0] = static_cast<float>(user.gravity[0] + walk_x + tremor +
+                                          rng.normal(0.0, noise_scale));
+    accel[t * 3 + 1] = static_cast<float>(user.gravity[1] + walk_y +
+                                          0.6 * tremor +
+                                          rng.normal(0.0, noise_scale));
+    accel[t * 3 + 2] = static_cast<float>(user.gravity[2] -
+                                          0.4 * (walk_x + walk_y) +
+                                          rng.normal(0.0, noise_scale));
+  }
+  ex.views.push_back(std::move(accel));
+
+  return ex;
+}
+
+MultiViewDataset KeystrokeSimulator::user_identification_dataset(
+    std::int64_t num_users, std::int64_t sessions_per_user, Rng& rng) const {
+  MDL_CHECK(num_users > 1 && sessions_per_user > 0,
+            "need >= 2 users and >= 1 session each");
+  MultiViewDataset ds;
+  ds.view_dims = view_dims();
+  ds.seq_lens = seq_lens();
+  ds.num_classes = num_users;
+  ds.examples.reserve(
+      static_cast<std::size_t>(num_users * sessions_per_user));
+  for (std::int64_t u = 0; u < num_users; ++u) {
+    const UserProfile profile = sample_user(rng);
+    for (std::int64_t s = 0; s < sessions_per_user; ++s) {
+      const int mood = rng.bernoulli(0.3) ? 1 : 0;  // nuisance variable
+      MultiViewExample ex = generate_session(profile, mood, rng);
+      ex.label = u;
+      ex.group = u;
+      ds.examples.push_back(std::move(ex));
+    }
+  }
+  return ds;
+}
+
+MultiViewDataset KeystrokeSimulator::mood_dataset(
+    std::span<const std::int64_t> sessions_per_user, Rng& rng) const {
+  MDL_CHECK(!sessions_per_user.empty(), "need at least one participant");
+  MultiViewDataset ds;
+  ds.view_dims = view_dims();
+  ds.seq_lens = seq_lens();
+  ds.num_classes = 2;
+  for (std::size_t u = 0; u < sessions_per_user.size(); ++u) {
+    MDL_CHECK(sessions_per_user[u] > 0, "participant " << u
+                                                       << " has no sessions");
+    const UserProfile profile = sample_user(rng);
+    // Participants differ in how often they are in a disturbed state, as in
+    // the BiAffect cohort (bipolar vs. control participants).
+    const double prevalence = std::clamp(0.25 + 0.25 * rng.normal(), 0.08, 0.7);
+    for (std::int64_t s = 0; s < sessions_per_user[u]; ++s) {
+      const int mood = rng.bernoulli(prevalence) ? 1 : 0;
+      MultiViewExample ex = generate_session(profile, mood, rng);
+      ex.label = mood;
+      ex.group = static_cast<std::int64_t>(u);
+      ds.examples.push_back(std::move(ex));
+    }
+  }
+  return ds;
+}
+
+MultiViewDataset KeystrokeSimulator::mood_dataset(std::int64_t num_users,
+                                                  std::int64_t sessions_per_user,
+                                                  Rng& rng) const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_users),
+                                   sessions_per_user);
+  return mood_dataset(counts, rng);
+}
+
+std::vector<std::int64_t> KeystrokeSimulator::view_dims() const {
+  return {4, kNumSpecialKeys, 3};
+}
+
+std::vector<std::int64_t> KeystrokeSimulator::seq_lens() const {
+  return {config_.alnum_len, config_.special_len, config_.accel_len};
+}
+
+TabularDataset to_session_features(const MultiViewDataset& ds) {
+  ds.check_consistent();
+  MDL_CHECK(ds.num_views() == 3, "expected the 3-view keystroke schema");
+  const std::int64_t n_features = 24;
+  TabularDataset out;
+  out.num_classes = ds.num_classes;
+  out.features = Tensor({ds.size(), n_features});
+  out.labels.reserve(ds.examples.size());
+
+  for (std::size_t i = 0; i < ds.examples.size(); ++i) {
+    const MultiViewExample& ex = ds.examples[i];
+    float* f = out.features.data() + static_cast<std::int64_t>(i) * n_features;
+
+    // Alphanumeric: stats over the non-padded prefix.
+    const Tensor& alnum = ex.views[0];
+    const std::int64_t t1 = alnum.shape(0);
+    std::int64_t key_count = 0;
+    for (std::int64_t t = 0; t < t1; ++t)
+      if (alnum[t * 4 + 0] != 0.0F || alnum[t * 4 + 1] != 0.0F) ++key_count;
+    const std::int64_t kc = std::max<std::int64_t>(key_count, 1);
+    for (int d = 0; d < 4; ++d) {
+      double mean = 0.0;
+      for (std::int64_t t = 0; t < kc; ++t)
+        mean += d < 2 ? alnum[t * 4 + d] : std::abs(alnum[t * 4 + d]);
+      mean /= static_cast<double>(kc);
+      double var = 0.0;
+      for (std::int64_t t = 0; t < kc; ++t) {
+        const double v =
+            (d < 2 ? alnum[t * 4 + d] : std::abs(alnum[t * 4 + d])) - mean;
+        var += v * v;
+      }
+      f[d] = static_cast<float>(mean);
+      f[4 + d] = static_cast<float>(std::sqrt(var / static_cast<double>(kc)));
+    }
+    f[8] = static_cast<float>(key_count);
+
+    // Special keys: per-category frequency.
+    const Tensor& special = ex.views[1];
+    const std::int64_t t2 = special.shape(0);
+    for (std::int64_t k = 0; k < kNumSpecialKeys; ++k) {
+      double c = 0.0;
+      for (std::int64_t t = 0; t < t2; ++t) c += special[t * kNumSpecialKeys + k];
+      f[9 + k] = static_cast<float>(c / static_cast<double>(t2));
+    }
+
+    // Accelerometer: per-axis mean/std and pairwise correlations.
+    const Tensor& accel = ex.views[2];
+    const std::int64_t t3 = accel.shape(0);
+    double mean[3], sd[3];
+    for (int a = 0; a < 3; ++a) {
+      double s = 0.0;
+      for (std::int64_t t = 0; t < t3; ++t) s += accel[t * 3 + a];
+      mean[a] = s / static_cast<double>(t3);
+      double var = 0.0;
+      for (std::int64_t t = 0; t < t3; ++t) {
+        const double v = accel[t * 3 + a] - mean[a];
+        var += v * v;
+      }
+      sd[a] = std::sqrt(std::max(var / static_cast<double>(t3), 1e-12));
+      f[15 + a] = static_cast<float>(mean[a]);
+      f[18 + a] = static_cast<float>(sd[a]);
+    }
+    int corr_slot = 21;
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        double cov = 0.0;
+        for (std::int64_t t = 0; t < t3; ++t)
+          cov += (accel[t * 3 + a] - mean[a]) * (accel[t * 3 + b] - mean[b]);
+        cov /= static_cast<double>(t3);
+        f[corr_slot++] = static_cast<float>(cov / (sd[a] * sd[b]));
+      }
+    }
+
+    out.labels.push_back(ex.label);
+  }
+  return out;
+}
+
+std::vector<std::string> session_feature_names() {
+  return {"hold_mean",     "gap_mean",      "abs_dx_mean",  "abs_dy_mean",
+          "hold_std",      "gap_std",       "abs_dx_std",   "abs_dy_std",
+          "key_count",     "f_autocorrect", "f_backspace",  "f_space",
+          "f_suggestion",  "f_switch_kb",   "f_other",      "accel_x_mean",
+          "accel_y_mean",  "accel_z_mean",  "accel_x_std",  "accel_y_std",
+          "accel_z_std",   "corr_xy",       "corr_xz",      "corr_yz"};
+}
+
+}  // namespace mdl::data

@@ -1,0 +1,134 @@
+// Synthetic BiAffect-style keystroke-dynamics simulator.
+//
+// The paper's two applications (DeepMood §IV-A, DEEPSERVICE §IV-B) consume
+// session-level typing metadata from the private BiAffect study: for each
+// phone-usage session, three views of time series —
+//   1. alphanumeric keypresses: hold duration, time since last keypress,
+//      and distance from the last key along two axes (4 features/step);
+//   2. special characters: one-hot over {auto-correct, backspace, space,
+//      suggestion, switch-keyboard, other} (6 features/step);
+//   3. accelerometer samples recorded every 60 ms (3 features/step, denser
+//      than the typing streams).
+//
+// This simulator reproduces that schema from a generative model: every user
+// gets a latent typing profile (hold-time and inter-key-gap statistics, key
+// travel kinematics, special-key habits, device-orientation baseline, and
+// tremor spectrum), and every session draws from the profile with
+// within-user noise. A binary mood state (the dichotomized HDRS label
+// DeepMood predicts) shifts the profile — psychomotor retardation slows
+// hold/gap times, raises backspace/auto-correct usage, and damps movement —
+// with per-user sensitivity. Between-user spread, within-user noise, and
+// mood-effect size are exposed as knobs so the benches can position the
+// task difficulty where the paper's accuracies sit.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace mdl::data {
+
+/// Number of special-character categories (auto-correct, backspace, space,
+/// suggestion, switch-keyboard, other).
+inline constexpr std::int64_t kNumSpecialKeys = 6;
+
+/// Generation knobs.
+struct KeystrokeConfig {
+  std::int64_t alnum_len = 32;    ///< keypresses kept per session (padded)
+  std::int64_t special_len = 12;  ///< special-character events per session
+  std::int64_t accel_len = 48;    ///< accelerometer samples (60 ms apart)
+  double user_variability = 1.0;  ///< between-user profile spread
+  double session_noise = 1.0;     ///< within-user session-to-session noise
+  double mood_effect = 1.0;       ///< strength of the mood modulation
+  /// Typing contexts per user (sitting / walking / one-handed, ...). Each
+  /// session draws one context uniformly; with > 1 context a user's
+  /// session statistics become a mixture, which destroys the linear
+  /// separability of aggregate features (the regime of Table I where
+  /// shallow linear models fall far behind tree ensembles).
+  std::int64_t num_contexts = 1;
+  /// Log-scale spread of the per-context multipliers.
+  double context_spread = 0.5;
+};
+
+/// Per-context modulation of a user's typing behaviour.
+struct ContextMode {
+  double hold_mul = 1.0;
+  double gap_mul = 1.0;
+  double travel_mul = 1.0;
+  double tremor_mul = 1.0;
+  double motion_mul = 1.0;
+  std::array<double, 3> gravity_shift{};
+};
+
+/// Latent per-user typing profile.
+struct UserProfile {
+  double hold_mean = 0.12;   ///< mean key-hold duration (s)
+  double hold_std = 0.03;
+  double gap_mean = 0.25;    ///< mean inter-key gap (s)
+  double gap_std = 0.10;
+  double travel_x = 2.0;     ///< mean |key distance| along x (key widths)
+  double travel_y = 0.8;
+  double keys_per_session = 40.0;  ///< mean keypresses per session
+  double special_rate = 0.18;      ///< P(keypress is a special key)
+  std::array<double, kNumSpecialKeys> special_prefs{};  ///< sums to 1
+  std::array<double, 3> gravity{};  ///< resting accelerometer baseline (g)
+  double tremor_amp = 0.05;         ///< hand-tremor amplitude (g)
+  double tremor_freq = 7.0;         ///< tremor frequency (Hz)
+  double motion_amp = 0.12;         ///< gross-motion amplitude (g)
+  double mood_sensitivity = 1.0;    ///< how strongly mood shifts this user
+  /// Typing contexts (empty = single-mode user).
+  std::vector<ContextMode> contexts;
+};
+
+/// Fixed-seed generator over the three-view session schema.
+class KeystrokeSimulator {
+ public:
+  explicit KeystrokeSimulator(KeystrokeConfig config = {});
+
+  const KeystrokeConfig& config() const { return config_; }
+
+  /// Draws a random user profile (between-user spread scaled by
+  /// config.user_variability).
+  UserProfile sample_user(Rng& rng) const;
+
+  /// Generates one session for `user` in mood state `mood` (0 = euthymic,
+  /// 1 = mood disturbance). Views follow the schema above; `label` and
+  /// `group` are left 0 for the caller to fill.
+  MultiViewExample generate_session(const UserProfile& user, int mood,
+                                    Rng& rng) const;
+
+  /// Dataset for user identification: label = user index, group = user
+  /// index, mood drawn per session (it is a nuisance variable there).
+  MultiViewDataset user_identification_dataset(std::int64_t num_users,
+                                               std::int64_t sessions_per_user,
+                                               Rng& rng) const;
+
+  /// Dataset for mood inference: label = mood (2 classes), group = user.
+  /// `sessions_per_user[u]` sessions for participant u (Fig. 5 varies this).
+  MultiViewDataset mood_dataset(std::span<const std::int64_t> sessions_per_user,
+                                Rng& rng) const;
+  /// Convenience: equal session counts for all users.
+  MultiViewDataset mood_dataset(std::int64_t num_users,
+                                std::int64_t sessions_per_user,
+                                Rng& rng) const;
+
+  /// View dims of the generated datasets: {4, 6, 3}.
+  std::vector<std::int64_t> view_dims() const;
+  /// Sequence lengths: {alnum_len, special_len, accel_len}.
+  std::vector<std::int64_t> seq_lens() const;
+
+ private:
+  KeystrokeConfig config_;
+};
+
+/// Flattens each session into the 24 aggregate statistics the classical
+/// baselines (LR/SVM/trees, Table I) consume: per-view means/stds, key
+/// count, special-key frequencies, and accelerometer axis correlations.
+TabularDataset to_session_features(const MultiViewDataset& ds);
+
+/// Column names for to_session_features (Fig. 6 pattern analysis).
+std::vector<std::string> session_feature_names();
+
+}  // namespace mdl::data

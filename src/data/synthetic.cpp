@@ -1,0 +1,116 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdl::data {
+
+TabularDataset make_classification(const SyntheticConfig& config, Rng& rng) {
+  MDL_CHECK(config.num_samples > 0 && config.num_features > 0 &&
+                config.num_classes > 1,
+            "invalid synthetic config");
+  MDL_CHECK(config.label_noise >= 0.0 && config.label_noise < 1.0,
+            "label noise must be in [0, 1)");
+
+  // Random unit directions scaled by class_sep serve as centroids; with
+  // num_features >> log(num_classes) they are nearly orthogonal, so
+  // class_sep directly controls Bayes error.
+  Tensor centroids({config.num_classes, config.num_features});
+  for (std::int64_t c = 0; c < config.num_classes; ++c) {
+    double norm_sq = 0.0;
+    for (std::int64_t j = 0; j < config.num_features; ++j) {
+      const double v = rng.normal();
+      centroids[c * config.num_features + j] = static_cast<float>(v);
+      norm_sq += v * v;
+    }
+    const float scale =
+        static_cast<float>(config.class_sep / std::sqrt(std::max(norm_sq, 1e-12)));
+    for (std::int64_t j = 0; j < config.num_features; ++j)
+      centroids[c * config.num_features + j] *= scale;
+  }
+
+  TabularDataset ds;
+  ds.num_classes = config.num_classes;
+  ds.features = Tensor({config.num_samples, config.num_features});
+  ds.labels.resize(static_cast<std::size_t>(config.num_samples));
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const std::int64_t y = i % config.num_classes;  // balanced classes
+    for (std::int64_t j = 0; j < config.num_features; ++j)
+      ds.features[i * config.num_features + j] =
+          centroids[y * config.num_features + j] +
+          static_cast<float>(rng.normal());
+    std::int64_t label = y;
+    if (config.label_noise > 0.0 && rng.bernoulli(config.label_noise))
+      label = rng.uniform_int(config.num_classes);
+    ds.labels[static_cast<std::size_t>(i)] = label;
+  }
+  return ds;
+}
+
+std::vector<TabularDataset> partition_dirichlet(const TabularDataset& ds,
+                                                std::size_t num_clients,
+                                                double alpha, Rng& rng) {
+  MDL_CHECK(num_clients > 0, "need at least one client");
+  MDL_CHECK(ds.size() >= static_cast<std::int64_t>(num_clients),
+            "fewer examples than clients");
+
+  std::vector<std::vector<std::size_t>> per_client(num_clients);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(ds.num_classes));
+  for (std::size_t i = 0; i < ds.labels.size(); ++i)
+    by_class[static_cast<std::size_t>(ds.labels[i])].push_back(i);
+
+  for (auto& cls : by_class) {
+    rng.shuffle(cls);
+    const std::vector<double> shares = rng.dirichlet(num_clients, alpha);
+    // Convert shares to contiguous cut points over this class's examples.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      cum += shares[k];
+      const auto end = (k + 1 == num_clients)
+                           ? cls.size()
+                           : static_cast<std::size_t>(
+                                 std::llround(cum * static_cast<double>(cls.size())));
+      for (std::size_t i = start; i < std::min(end, cls.size()); ++i)
+        per_client[k].push_back(cls[i]);
+      start = std::min(end, cls.size());
+    }
+  }
+
+  // Guarantee non-empty shards by stealing from the largest client.
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    if (!per_client[k].empty()) continue;
+    auto largest = std::max_element(
+        per_client.begin(), per_client.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    MDL_CHECK(largest->size() > 1, "cannot rebalance empty client shard");
+    per_client[k].push_back(largest->back());
+    largest->pop_back();
+  }
+
+  std::vector<TabularDataset> shards;
+  shards.reserve(num_clients);
+  for (auto& idx : per_client) {
+    rng.shuffle(idx);
+    shards.push_back(ds.subset(idx));
+  }
+  return shards;
+}
+
+std::vector<TabularDataset> partition_iid(const TabularDataset& ds,
+                                          std::size_t num_clients, Rng& rng) {
+  MDL_CHECK(num_clients > 0, "need at least one client");
+  MDL_CHECK(ds.size() >= static_cast<std::int64_t>(num_clients),
+            "fewer examples than clients");
+  const auto perm = rng.permutation(static_cast<std::size_t>(ds.size()));
+  std::vector<std::vector<std::size_t>> per_client(num_clients);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    per_client[i % num_clients].push_back(perm[i]);
+  std::vector<TabularDataset> shards;
+  shards.reserve(num_clients);
+  for (const auto& idx : per_client) shards.push_back(ds.subset(idx));
+  return shards;
+}
+
+}  // namespace mdl::data

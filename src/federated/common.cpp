@@ -1,0 +1,97 @@
+#include "federated/common.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+
+namespace mdl::federated {
+
+ModelFactory mlp_factory(std::int64_t in_features, std::int64_t hidden,
+                         std::int64_t classes) {
+  MDL_CHECK(in_features > 0 && hidden > 0 && classes > 1,
+            "invalid MLP factory dims");
+  return [=](Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Linear>(in_features, hidden, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(hidden, classes, rng);
+    return model;
+  };
+}
+
+namespace {
+
+/// One SGD step on a batch of rows; returns the batch loss.
+double sgd_step(nn::Sequential& model, const data::TabularDataset& shard,
+                std::span<const std::size_t> batch, double lr) {
+  const std::int64_t d = shard.dim();
+  Tensor xb({static_cast<std::int64_t>(batch.size()), d});
+  std::vector<std::int64_t> yb(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    xb.set_row(static_cast<std::int64_t>(r),
+               shard.features.row(static_cast<std::int64_t>(batch[r])));
+    yb[r] = shard.labels[batch[r]];
+  }
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits = model.forward(xb);
+  const double l = loss.forward(logits, yb);
+  model.zero_grad();
+  model.backward(loss.backward());
+  const auto params = model.parameters();
+  for (nn::Parameter* p : params)
+    p->value.add_scaled_(p->grad, static_cast<float>(-lr));
+  return l;
+}
+
+}  // namespace
+
+double local_sgd(nn::Sequential& model, const data::TabularDataset& shard,
+                 std::int64_t epochs, std::int64_t batch_size, double lr,
+                 Rng& rng) {
+  MDL_CHECK(shard.size() > 0, "empty shard");
+  MDL_CHECK(epochs > 0 && batch_size > 0 && lr > 0.0, "invalid SGD config");
+  model.set_training(true);
+  double last_epoch_loss = 0.0;
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    const auto batches =
+        data::minibatch_indices(static_cast<std::size_t>(shard.size()),
+                                static_cast<std::size_t>(batch_size), rng);
+    double sum = 0.0;
+    for (const auto& batch : batches) sum += sgd_step(model, shard, batch, lr);
+    last_epoch_loss = sum / static_cast<double>(batches.size());
+  }
+  return last_epoch_loss;
+}
+
+double full_batch_gradient(nn::Sequential& model,
+                           const data::TabularDataset& shard) {
+  MDL_CHECK(shard.size() > 0, "empty shard");
+  model.set_training(true);
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits = model.forward(shard.features);
+  const double l = loss.forward(logits, shard.labels);
+  model.zero_grad();
+  model.backward(loss.backward());
+  return l;
+}
+
+double evaluate_accuracy(nn::Sequential& model,
+                         const data::TabularDataset& ds) {
+  MDL_CHECK(ds.size() > 0, "empty evaluation set");
+  model.set_training(false);
+  const Tensor logits = model.forward(ds.features);
+  model.set_training(true);
+  const auto pred = logits.argmax_rows();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == ds.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double train_centralized(nn::Sequential& model, const data::TabularDataset& ds,
+                         std::int64_t epochs, std::int64_t batch_size,
+                         double lr, Rng& rng) {
+  return local_sgd(model, ds, epochs, batch_size, lr, rng);
+}
+
+}  // namespace mdl::federated

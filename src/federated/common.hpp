@@ -1,0 +1,74 @@
+// Shared machinery for the distributed-training simulators (§II).
+//
+// All federated/distributed schemes in the paper operate on the same
+// primitives: a shared model architecture instantiated on a parameter
+// server and on every participant, local SGD over a private shard, and
+// communication of (subsets of) flattened parameter vectors. This header
+// provides those primitives plus exact communication accounting — the
+// currency in which §II-B's "10-100x less communication" claim is measured.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/random.hpp"
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+#include "nn/param_utils.hpp"
+
+namespace mdl::federated {
+
+/// Builds a fresh model instance; every call must produce the same
+/// architecture (weights may differ — the trainer overwrites them).
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>(Rng&)>;
+
+/// Standard MLP factory for the federated experiments:
+/// in -> hidden (ReLU) -> classes.
+ModelFactory mlp_factory(std::int64_t in_features, std::int64_t hidden,
+                         std::int64_t classes);
+
+/// Byte-exact communication ledger. Parameters/gradients travel as float32;
+/// sparse (selective) transfers additionally pay 4 bytes per coordinate
+/// index, matching the cost model of Shokri & Shmatikov.
+struct CommLedger {
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+
+  void dense_up(std::uint64_t floats) { bytes_up += floats * 4; }
+  void dense_down(std::uint64_t floats) { bytes_down += floats * 4; }
+  void sparse_up(std::uint64_t coords) { bytes_up += coords * 8; }
+  void sparse_down(std::uint64_t coords) { bytes_down += coords * 8; }
+  std::uint64_t total() const { return bytes_up + bytes_down; }
+};
+
+/// Per-round metrics emitted by the trainers.
+struct RoundStats {
+  std::int64_t round = 0;
+  double test_accuracy = 0.0;
+  double train_loss = 0.0;
+  std::uint64_t cumulative_bytes = 0;
+};
+
+/// Runs `epochs` of minibatch SGD on `model` over `shard`. Returns the mean
+/// training loss of the final epoch.
+double local_sgd(nn::Sequential& model, const data::TabularDataset& shard,
+                 std::int64_t epochs, std::int64_t batch_size, double lr,
+                 Rng& rng);
+
+/// One full-batch gradient of the cross-entropy loss at the current
+/// parameters; gradients are left in the model's Parameter::grad slots.
+/// Returns the loss.
+double full_batch_gradient(nn::Sequential& model,
+                           const data::TabularDataset& shard);
+
+/// Classification accuracy of `model` on `ds` (runs in inference mode).
+double evaluate_accuracy(nn::Sequential& model, const data::TabularDataset& ds);
+
+/// Centralized baseline: SGD on the union of shards (upper bound in Fig. 1).
+double train_centralized(nn::Sequential& model, const data::TabularDataset& ds,
+                         std::int64_t epochs, std::int64_t batch_size,
+                         double lr, Rng& rng);
+
+}  // namespace mdl::federated

@@ -1,0 +1,98 @@
+#include "federated/fedavg.hpp"
+
+#include <algorithm>
+
+namespace mdl::federated {
+
+FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
+                             std::vector<data::TabularDataset> shards,
+                             FedAvgConfig config)
+    : factory_(std::move(factory)),
+      shards_(std::move(shards)),
+      config_(config),
+      rng_(config.seed) {
+  MDL_CHECK(!shards_.empty(), "need at least one client shard");
+  MDL_CHECK(config_.clients_per_round > 0 &&
+                config_.clients_per_round <=
+                    static_cast<std::int64_t>(shards_.size()),
+            "clients_per_round " << config_.clients_per_round << " vs "
+                                 << shards_.size() << " shards");
+  MDL_CHECK(config_.rounds > 0, "rounds must be positive");
+  global_ = factory_(rng_);
+  worker_ = factory_(rng_);
+  model_size_ = nn::total_size(global_->parameters());
+  MDL_CHECK(nn::total_size(worker_->parameters()) == model_size_,
+            "factory produced differently sized models");
+}
+
+std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
+  std::vector<RoundStats> history;
+  history.reserve(static_cast<std::size_t>(config_.rounds));
+  const auto global_params = global_->parameters();
+  const auto worker_params = worker_->parameters();
+
+  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    const std::vector<float> w_global = nn::flatten_values(global_params);
+    const auto selected = rng_.sample_without_replacement(
+        shards_.size(), static_cast<std::size_t>(config_.clients_per_round));
+
+    std::int64_t n_total = 0;
+    for (const std::size_t k : selected) n_total += shards_[k].size();
+
+    std::vector<double> aggregate(w_global.size(), 0.0);
+    double round_loss = 0.0;
+
+    for (const std::size_t k : selected) {
+      // Download current global model to the participant.
+      nn::unflatten_into_values(w_global, worker_params);
+      ledger_.dense_down(w_global.size());
+      const double weight = static_cast<double>(shards_[k].size()) /
+                            static_cast<double>(n_total);
+      Rng client_rng = rng_.fork();
+
+      if (config_.fedsgd) {
+        round_loss +=
+            weight * full_batch_gradient(*worker_, shards_[k]);
+        const std::vector<float> g = nn::flatten_grads(worker_params);
+        for (std::size_t i = 0; i < g.size(); ++i)
+          aggregate[i] += weight * static_cast<double>(g[i]);
+        ledger_.dense_up(g.size());
+      } else {
+        round_loss += weight * local_sgd(*worker_, shards_[k],
+                                         config_.local_epochs,
+                                         config_.batch_size,
+                                         config_.client_lr, client_rng);
+        const std::vector<float> w_k = nn::flatten_values(worker_params);
+        for (std::size_t i = 0; i < w_k.size(); ++i)
+          aggregate[i] += weight * static_cast<double>(w_k[i]);
+        ledger_.dense_up(w_k.size());
+      }
+    }
+
+    // Server update.
+    std::vector<float> w_next(w_global.size());
+    if (config_.fedsgd) {
+      for (std::size_t i = 0; i < w_next.size(); ++i)
+        w_next[i] = w_global[i] - static_cast<float>(config_.server_lr *
+                                                     aggregate[i]);
+    } else {
+      for (std::size_t i = 0; i < w_next.size(); ++i)
+        w_next[i] = static_cast<float>(aggregate[i]);
+    }
+    nn::unflatten_into_values(w_next, global_params);
+
+    RoundStats stats;
+    stats.round = round;
+    stats.train_loss = round_loss;
+    stats.test_accuracy = evaluate_accuracy(*global_, test);
+    stats.cumulative_bytes = ledger_.total();
+    history.push_back(stats);
+
+    if (config_.target_accuracy > 0.0 &&
+        stats.test_accuracy >= config_.target_accuracy)
+      break;
+  }
+  return history;
+}
+
+}  // namespace mdl::federated

@@ -1,0 +1,63 @@
+// Federated training (McMahan et al.): FedSGD and FedAvg.
+//
+// Implements the two schemes contrasted in §II-B. FedSGD is the "naively
+// distributed SGD" baseline — every selected participant uploads one
+// full-batch gradient per round and the server takes one step with the
+// n_k/n-weighted average:
+//     w_{t+1} <- w_t - eta * sum_k (n_k / n) g_k.
+// FedAvg lets each participant run E local epochs of minibatch SGD before
+// uploading its *model* (equivalently its update), and the server averages:
+//     w^k_{t+1} <- local SGD from w_t;   w_{t+1} <- sum_k (n_k/n) w^k_{t+1}.
+// The paper quotes 10-100x communication savings for the latter — the
+// bench bench/fig2_fedavg_communication measures exactly that, in bytes
+// from this trainer's CommLedger.
+#pragma once
+
+#include "federated/common.hpp"
+
+namespace mdl::federated {
+
+struct FedAvgConfig {
+  std::int64_t rounds = 50;
+  /// Participants selected per round (<= number of shards).
+  std::int64_t clients_per_round = 10;
+  /// E: local epochs per round. FedSGD fixes the equivalent of E = 1 with a
+  /// single full-batch step.
+  std::int64_t local_epochs = 5;
+  std::int64_t batch_size = 16;
+  double client_lr = 0.1;
+  /// Server learning rate for FedSGD's aggregated gradient step.
+  double server_lr = 0.1;
+  /// true = FedSGD (gradient upload), false = FedAvg (model averaging).
+  bool fedsgd = false;
+  /// Stop once test accuracy reaches this (negative = run all rounds).
+  double target_accuracy = -1.0;
+  std::uint64_t seed = 7;
+};
+
+/// Simulated parameter server + K participants over tabular shards.
+class FedAvgTrainer {
+ public:
+  FedAvgTrainer(ModelFactory factory, std::vector<data::TabularDataset> shards,
+                FedAvgConfig config);
+
+  /// Runs the configured number of rounds (or until target accuracy),
+  /// evaluating on `test` after every round.
+  std::vector<RoundStats> run(const data::TabularDataset& test);
+
+  nn::Sequential& global_model() { return *global_; }
+  const CommLedger& ledger() const { return ledger_; }
+  std::int64_t model_size() const { return model_size_; }
+
+ private:
+  ModelFactory factory_;
+  std::vector<data::TabularDataset> shards_;
+  FedAvgConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> global_;
+  std::unique_ptr<nn::Sequential> worker_;  ///< reused client workspace
+  std::int64_t model_size_ = 0;
+  CommLedger ledger_;
+};
+
+}  // namespace mdl::federated

@@ -1,0 +1,125 @@
+#include "federated/selective_sgd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mdl::federated {
+
+SelectiveSGDTrainer::SelectiveSGDTrainer(
+    ModelFactory factory, std::vector<data::TabularDataset> shards,
+    SelectiveSGDConfig config)
+    : factory_(std::move(factory)),
+      shards_(std::move(shards)),
+      config_(config),
+      rng_(config.seed) {
+  MDL_CHECK(!shards_.empty(), "need at least one participant");
+  MDL_CHECK(config_.upload_fraction > 0.0 && config_.upload_fraction <= 1.0,
+            "upload fraction must be in (0, 1]");
+  MDL_CHECK(config_.download_fraction > 0.0 &&
+                config_.download_fraction <= 1.0,
+            "download fraction must be in (0, 1]");
+  eval_model_ = factory_(rng_);
+  model_size_ = nn::total_size(eval_model_->parameters());
+  global_ = nn::flatten_values(eval_model_->parameters());
+  version_.assign(global_.size(), 0);
+  // Every participant starts from the same initialization (downloaded once;
+  // not counted in the per-round ledger, matching the usual accounting).
+  locals_.assign(shards_.size(), global_);
+  seen_version_.assign(shards_.size() * global_.size(), 0);
+}
+
+std::vector<RoundStats> SelectiveSGDTrainer::run(
+    const data::TabularDataset& test) {
+  const auto params = eval_model_->parameters();
+  const std::size_t p_count = global_.size();
+  const auto top_k = [&](double fraction) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(fraction * static_cast<double>(p_count))));
+  };
+
+  std::vector<RoundStats> history;
+  history.reserve(static_cast<std::size_t>(config_.rounds));
+  std::vector<std::size_t> order(p_count);
+
+  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    double round_loss = 0.0;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      std::vector<float>& local = locals_[k];
+      std::uint32_t* seen = seen_version_.data() + k * p_count;
+
+      // -- Download: theta_d fraction of the most-stale coordinates -------
+      if (config_.download_fraction >= 1.0) {
+        for (std::size_t i = 0; i < p_count; ++i) {
+          local[i] = global_[i];
+          seen[i] = version_[i];
+        }
+        ledger_.dense_down(p_count);
+      } else {
+        const std::size_t dl = top_k(config_.download_fraction);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::nth_element(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(dl - 1),
+                         order.end(), [&](std::size_t a, std::size_t b) {
+                           return version_[a] - seen[a] >
+                                  version_[b] - seen[b];
+                         });
+        for (std::size_t j = 0; j < dl; ++j) {
+          const std::size_t i = order[j];
+          local[i] = global_[i];
+          seen[i] = version_[i];
+        }
+        ledger_.sparse_down(dl);
+      }
+
+      // -- Local training ---------------------------------------------------
+      nn::unflatten_into_values(local, params);
+      Rng client_rng = rng_.fork();
+      round_loss += local_sgd(*eval_model_, shards_[k], config_.local_epochs,
+                              config_.batch_size, config_.lr, client_rng);
+      const std::vector<float> after = nn::flatten_values(params);
+
+      // -- Upload: theta_u fraction of largest |accumulated gradient| -----
+      std::vector<float> delta(p_count);
+      for (std::size_t i = 0; i < p_count; ++i) delta[i] = after[i] - local[i];
+      const std::size_t ul = top_k(config_.upload_fraction);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(ul - 1),
+                       order.end(), [&](std::size_t a, std::size_t b) {
+                         return std::abs(delta[a]) > std::abs(delta[b]);
+                       });
+      for (std::size_t j = 0; j < ul; ++j) {
+        const std::size_t i = order[j];
+        global_[i] += delta[i];
+        ++version_[i];
+      }
+      if (config_.upload_fraction >= 1.0)
+        ledger_.dense_up(ul);
+      else
+        ledger_.sparse_up(ul);
+
+      local = after;  // the replica keeps all of its own progress
+    }
+
+    nn::unflatten_into_values(global_, params);
+    RoundStats stats;
+    stats.round = round;
+    stats.train_loss = round_loss / static_cast<double>(shards_.size());
+    stats.test_accuracy = evaluate_accuracy(*eval_model_, test);
+    stats.cumulative_bytes = ledger_.total();
+    history.push_back(stats);
+  }
+  return history;
+}
+
+double SelectiveSGDTrainer::participant_accuracy(
+    std::size_t k, const data::TabularDataset& test) {
+  MDL_CHECK(k < locals_.size(), "participant index out of range");
+  const auto params = eval_model_->parameters();
+  nn::unflatten_into_values(locals_[k], params);
+  return evaluate_accuracy(*eval_model_, test);
+}
+
+}  // namespace mdl::federated

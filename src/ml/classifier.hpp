@@ -1,0 +1,34 @@
+// Common interface for the classical baselines of Table I.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace mdl::ml {
+
+/// A multi-class classifier over tabular features.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the given dataset (features [N, D], labels in
+  /// [0, num_classes)).
+  virtual void fit(const data::TabularDataset& train) = 0;
+
+  /// Predicted class per row of [N, D] features.
+  virtual std::vector<std::int64_t> predict(const Tensor& features) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Accuracy of a fitted classifier on a dataset.
+double evaluate_accuracy(const Classifier& clf, const data::TabularDataset& ds);
+
+/// Macro-F1 of a fitted classifier on a dataset.
+double evaluate_macro_f1(const Classifier& clf, const data::TabularDataset& ds);
+
+}  // namespace mdl::ml

@@ -1,0 +1,93 @@
+#include "mobile/cost_model.hpp"
+
+#include "core/error.hpp"
+
+namespace mdl::mobile {
+
+DeviceProfile DeviceProfile::mobile_soc() {
+  // Sustained CPU fp32 throughput and power of a ~2017 flagship SoC
+  // (order of magnitude: tens of GFLOPS at a 2-3 W compute envelope).
+  return {"mobile-soc", 20.0, 2.5, 1.2, 0.05};
+}
+
+DeviceProfile DeviceProfile::cloud_server() {
+  return {"cloud-server", 4000.0, 250.0, 0.0, 50.0};
+}
+
+DeviceProfile DeviceProfile::embedded_sensor() {
+  return {"embedded-sensor", 0.5, 0.4, 0.3, 0.01};
+}
+
+NetworkModel NetworkModel::wifi() { return {40.0, 120.0, 0.01}; }
+NetworkModel NetworkModel::lte() { return {8.0, 30.0, 0.05}; }
+NetworkModel NetworkModel::cellular_3g() { return {0.8, 3.0, 0.12}; }
+
+double NetworkModel::upload_time_s(std::uint64_t bytes) const {
+  MDL_CHECK(uplink_mbps > 0.0, "uplink bandwidth must be positive");
+  return static_cast<double>(bytes) * 8.0 / (uplink_mbps * 1e6);
+}
+
+double NetworkModel::download_time_s(std::uint64_t bytes) const {
+  MDL_CHECK(downlink_mbps > 0.0, "downlink bandwidth must be positive");
+  return static_cast<double>(bytes) * 8.0 / (downlink_mbps * 1e6);
+}
+
+InferencePlanner::InferencePlanner(DeviceProfile device, DeviceProfile server,
+                                   NetworkModel network)
+    : device_(std::move(device)),
+      server_(std::move(server)),
+      network_(network) {
+  MDL_CHECK(device_.effective_gflops > 0.0 && server_.effective_gflops > 0.0,
+            "profiles need positive throughput");
+}
+
+double InferencePlanner::device_compute_s(std::int64_t flops) const {
+  return static_cast<double>(flops) / (device_.effective_gflops * 1e9);
+}
+
+double InferencePlanner::server_compute_s(std::int64_t flops) const {
+  return static_cast<double>(flops) / (server_.effective_gflops * 1e9);
+}
+
+CostEstimate InferencePlanner::on_device(std::int64_t flops) const {
+  CostEstimate c;
+  c.latency_s = device_compute_s(flops);
+  c.device_energy_j = c.latency_s * device_.compute_watts;
+  return c;
+}
+
+CostEstimate InferencePlanner::on_cloud(std::uint64_t input_bytes,
+                                        std::int64_t flops,
+                                        std::uint64_t output_bytes) const {
+  CostEstimate c;
+  const double up = network_.upload_time_s(input_bytes);
+  const double down = network_.download_time_s(output_bytes);
+  c.latency_s = network_.rtt_s + up + server_compute_s(flops) + down;
+  c.device_energy_j = (up + down) * device_.radio_watts +
+                      (network_.rtt_s + server_compute_s(flops)) *
+                          device_.idle_watts;
+  c.bytes_up = input_bytes;
+  c.bytes_down = output_bytes;
+  return c;
+}
+
+CostEstimate InferencePlanner::split(std::int64_t local_flops,
+                                     std::uint64_t rep_bytes,
+                                     std::int64_t cloud_flops,
+                                     std::uint64_t output_bytes) const {
+  CostEstimate c;
+  const double local = device_compute_s(local_flops);
+  const double up = network_.upload_time_s(rep_bytes);
+  const double down = network_.download_time_s(output_bytes);
+  c.latency_s =
+      local + network_.rtt_s + up + server_compute_s(cloud_flops) + down;
+  c.device_energy_j = local * device_.compute_watts +
+                      (up + down) * device_.radio_watts +
+                      (network_.rtt_s + server_compute_s(cloud_flops)) *
+                          device_.idle_watts;
+  c.bytes_up = rep_bytes;
+  c.bytes_down = output_bytes;
+  return c;
+}
+
+}  // namespace mdl::mobile

@@ -1,0 +1,91 @@
+// Mobile inference cost model (§III): where should a trained DNN run?
+//
+// The paper frames the deployment choice as on-device inference (no
+// network, private, but compute/energy constrained) vs. cloud inference
+// (fast server, but pays upload latency/energy and exposes data), with
+// split inference in between. This module provides an analytic
+// latency/energy/app-size model over FLOP-counted mdl::nn networks,
+// device profiles with published-order-of-magnitude constants, and a
+// bandwidth-parameterized radio model — the substitute for the authors'
+// phone+cloud testbed documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace mdl::mobile {
+
+/// Compute + radio characteristics of one endpoint.
+struct DeviceProfile {
+  std::string name;
+  double effective_gflops = 10.0;  ///< sustained fp32 throughput
+  double compute_watts = 2.0;      ///< power while computing
+  double radio_watts = 1.0;        ///< power while transmitting/receiving
+  double idle_watts = 0.05;
+
+  /// ~2017 smartphone SoC (CPU path, the deployment target of §III-B).
+  static DeviceProfile mobile_soc();
+  /// Cloud server with a discrete accelerator.
+  static DeviceProfile cloud_server();
+  /// Low-end wearable / embedded sensor node.
+  static DeviceProfile embedded_sensor();
+};
+
+/// Link between phone and cloud.
+struct NetworkModel {
+  double uplink_mbps = 10.0;
+  double downlink_mbps = 40.0;
+  double rtt_s = 0.05;
+
+  static NetworkModel wifi();
+  static NetworkModel lte();
+  static NetworkModel cellular_3g();
+
+  double upload_time_s(std::uint64_t bytes) const;
+  double download_time_s(std::uint64_t bytes) const;
+};
+
+/// Cost of executing one inference under a given placement.
+struct CostEstimate {
+  double latency_s = 0.0;
+  double device_energy_j = 0.0;  ///< energy drawn from the phone battery
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+};
+
+/// Evaluates the three placements for a given model.
+class InferencePlanner {
+ public:
+  InferencePlanner(DeviceProfile device, DeviceProfile server,
+                   NetworkModel network);
+
+  /// Whole model on the phone.
+  CostEstimate on_device(std::int64_t flops) const;
+
+  /// Raw input uploaded, whole model on the server, result downloaded.
+  CostEstimate on_cloud(std::uint64_t input_bytes, std::int64_t flops,
+                        std::uint64_t output_bytes) const;
+
+  /// Local prefix on the phone, representation uploaded, suffix on the
+  /// server (the Fig. 3 deployment).
+  CostEstimate split(std::int64_t local_flops, std::uint64_t rep_bytes,
+                     std::int64_t cloud_flops,
+                     std::uint64_t output_bytes) const;
+
+  const DeviceProfile& device() const { return device_; }
+  const DeviceProfile& server() const { return server_; }
+  const NetworkModel& network() const { return network_; }
+  void set_network(NetworkModel network) { network_ = network; }
+
+ private:
+  double device_compute_s(std::int64_t flops) const;
+  double server_compute_s(std::int64_t flops) const;
+
+  DeviceProfile device_;
+  DeviceProfile server_;
+  NetworkModel network_;
+};
+
+}  // namespace mdl::mobile

@@ -1,0 +1,42 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+namespace mdl::nn {
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
+  MDL_CHECK(rate >= 0.0 && rate < 1.0,
+            "dropout rate must be in [0, 1), got " << rate);
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!is_training() || rate_ == 0.0) {
+    mask_ = Tensor();  // identity; backward passes grad through
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    const float m = rng_.bernoulli(rate_) ? 0.0F : keep_scale;
+    mask_[i] = m;
+    y[i] *= m;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  MDL_CHECK(grad_out.same_shape(mask_), "Dropout backward shape");
+  Tensor g = grad_out;
+  g.mul_(mask_);
+  return g;
+}
+
+std::string Dropout::name() const {
+  std::ostringstream os;
+  os << "Dropout(" << rate_ << ')';
+  return os.str();
+}
+
+}  // namespace mdl::nn

@@ -1,0 +1,29 @@
+// Inverted dropout layer.
+#pragma once
+
+#include "core/random.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::nn {
+
+/// Inverted dropout: in training mode, zeroes each activation with
+/// probability `rate` and scales survivors by 1/(1-rate); identity at
+/// inference time. Owns a forked RNG stream so dropout masks do not perturb
+/// other consumers of the experiment seed.
+class Dropout : public Module {
+ public:
+  Dropout(double rate, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;  // scaled 0/(1/(1-rate)) mask from the last training forward
+};
+
+}  // namespace mdl::nn

@@ -1,0 +1,28 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace mdl::nn {
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng) {
+  MDL_CHECK(fan_in > 0 && fan_out > 0, "fan sizes must be positive");
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < w.size(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  MDL_CHECK(fan_in > 0, "fan_in must be positive");
+  const float s = std::sqrt(2.0F / static_cast<float>(fan_in));
+  for (std::int64_t i = 0; i < w.size(); ++i)
+    w[i] = static_cast<float>(rng.normal(0.0, s));
+}
+
+void scaled_normal(Tensor& w, float stddev, Rng& rng) {
+  for (std::int64_t i = 0; i < w.size(); ++i)
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace mdl::nn

@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "core/random.hpp"
+#include "core/tensor.hpp"
+
+namespace mdl::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); preferred before ReLU.
+void he_normal(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Orthogonal-ish init for recurrent matrices: scaled normal with spectral
+/// normalization via power iteration (cheap approximation adequate for the
+/// small recurrent nets used here).
+void scaled_normal(Tensor& w, float stddev, Rng& rng);
+
+}  // namespace mdl::nn

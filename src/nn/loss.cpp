@@ -1,0 +1,111 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+
+namespace mdl::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::int64_t> labels) {
+  MDL_CHECK(logits.ndim() == 2, "logits must be [batch, classes]");
+  const std::int64_t b = logits.shape(0);
+  const std::int64_t c = logits.shape(1);
+  MDL_CHECK(static_cast<std::int64_t>(labels.size()) == b,
+            "label count " << labels.size() << " vs batch " << b);
+  const Tensor log_probs = log_softmax_rows(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    MDL_CHECK(y >= 0 && y < c, "label " << y << " out of range [0, " << c
+                                        << ')');
+    loss -= log_probs[i * c + y];
+  }
+  probs_ = log_probs;
+  probs_.apply_([](float v) { return std::exp(v); });
+  labels_.assign(labels.begin(), labels.end());
+  return loss / static_cast<double>(b);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  MDL_CHECK(!probs_.empty(), "backward before forward");
+  const std::int64_t b = probs_.shape(0);
+  const std::int64_t c = probs_.shape(1);
+  Tensor grad = probs_;
+  const float inv_b = 1.0F / static_cast<float>(b);
+  for (std::int64_t i = 0; i < b; ++i) {
+    grad[i * c + labels_[static_cast<std::size_t>(i)]] -= 1.0F;
+    for (std::int64_t j = 0; j < c; ++j) grad[i * c + j] *= inv_b;
+  }
+  return grad;
+}
+
+double MeanSquaredError::forward(const Tensor& prediction,
+                                 const Tensor& target) {
+  MDL_CHECK(prediction.same_shape(target), "MSE shape mismatch");
+  diff_ = prediction - target;
+  return diff_.dot(diff_) / static_cast<double>(diff_.size());
+}
+
+Tensor MeanSquaredError::backward() const {
+  MDL_CHECK(!diff_.empty(), "backward before forward");
+  Tensor g = diff_;
+  g.mul_(2.0F / static_cast<float>(diff_.size()));
+  return g;
+}
+
+DistillationLoss::DistillationLoss(double temperature, double alpha)
+    : temperature_(temperature), alpha_(alpha) {
+  MDL_CHECK(temperature > 0.0, "temperature must be positive");
+  MDL_CHECK(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+}
+
+double DistillationLoss::forward(const Tensor& student_logits,
+                                 const Tensor& teacher_logits,
+                                 std::span<const std::int64_t> labels) {
+  MDL_CHECK(student_logits.same_shape(teacher_logits),
+            "student/teacher logit shapes differ");
+  const std::int64_t b = student_logits.shape(0);
+  const std::int64_t c = student_logits.shape(1);
+  const float inv_t = static_cast<float>(1.0 / temperature_);
+
+  Tensor s_t = student_logits;
+  s_t.mul_(inv_t);
+  Tensor t_t = teacher_logits;
+  t_t.mul_(inv_t);
+  const Tensor log_ps = log_softmax_rows(s_t);
+  const Tensor pt = softmax_rows(t_t);
+  Tensor ps = log_ps;
+  ps.apply_([](float v) { return std::exp(v); });
+
+  // KL(pt || ps) = sum pt (log pt - log ps); the log pt term is constant in
+  // the student so only -sum pt log ps contributes to the gradient.
+  double kl = 0.0;
+  for (std::int64_t i = 0; i < b * c; ++i) {
+    if (pt[i] > 0.0F)
+      kl += static_cast<double>(pt[i]) *
+            (std::log(static_cast<double>(pt[i])) - log_ps[i]);
+  }
+  kl /= static_cast<double>(b);
+
+  SoftmaxCrossEntropy ce;
+  const double hard = ce.forward(student_logits, labels);
+  const Tensor ce_grad = ce.backward();
+
+  // Soft gradient wrt student logits: alpha * T^2 * (ps - pt) / (b * T)
+  //                                 = alpha * T * (ps - pt) / b.
+  grad_ = ps;
+  grad_.sub_(pt);
+  grad_.mul_(static_cast<float>(alpha_ * temperature_ /
+                                static_cast<double>(b)));
+  grad_.add_scaled_(ce_grad, static_cast<float>(1.0 - alpha_));
+
+  return alpha_ * temperature_ * temperature_ * kl + (1.0 - alpha_) * hard;
+}
+
+Tensor DistillationLoss::backward() const {
+  MDL_CHECK(!grad_.empty(), "backward before forward");
+  return grad_;
+}
+
+}  // namespace mdl::nn

@@ -1,0 +1,56 @@
+// Loss functions. Each returns the mean loss over the batch from forward()
+// and the gradient w.r.t. its input from backward().
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/tensor.hpp"
+
+namespace mdl::nn {
+
+/// Softmax + cross-entropy over [batch, classes] logits with integer labels.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean negative log-likelihood of the true classes.
+  double forward(const Tensor& logits, std::span<const std::int64_t> labels);
+  /// d(mean loss)/d(logits) = (softmax - onehot) / batch.
+  Tensor backward() const;
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Mean squared error against a same-shape target.
+class MeanSquaredError {
+ public:
+  double forward(const Tensor& prediction, const Tensor& target);
+  Tensor backward() const;
+
+ private:
+  Tensor diff_;
+};
+
+/// Knowledge-distillation loss (Hinton et al.): KL(student_T || teacher_T)
+/// at temperature T, mixed with hard-label cross-entropy:
+///   L = alpha * T^2 * KL + (1 - alpha) * CE.
+/// The T^2 factor keeps gradient magnitudes comparable across temperatures.
+class DistillationLoss {
+ public:
+  DistillationLoss(double temperature, double alpha);
+
+  double forward(const Tensor& student_logits, const Tensor& teacher_logits,
+                 std::span<const std::int64_t> labels);
+  Tensor backward() const;
+
+  double temperature() const { return temperature_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double temperature_;
+  double alpha_;
+  Tensor grad_;
+};
+
+}  // namespace mdl::nn

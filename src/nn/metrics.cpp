@@ -1,0 +1,93 @@
+#include "nn/metrics.hpp"
+
+#include "core/error.hpp"
+
+namespace mdl::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  MDL_CHECK(num_classes > 0, "confusion matrix needs >= 1 class");
+}
+
+void ConfusionMatrix::add(std::int64_t true_label, std::int64_t predicted) {
+  MDL_CHECK(true_label >= 0 && true_label < classes_,
+            "true label " << true_label << " out of range");
+  MDL_CHECK(predicted >= 0 && predicted < classes_,
+            "prediction " << predicted << " out of range");
+  ++counts_[static_cast<std::size_t>(true_label * classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(std::span<const std::int64_t> true_labels,
+                                std::span<const std::int64_t> predicted) {
+  MDL_CHECK(true_labels.size() == predicted.size(),
+            "label/prediction count mismatch");
+  for (std::size_t i = 0; i < true_labels.size(); ++i)
+    add(true_labels[i], predicted[i]);
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t true_label,
+                                    std::int64_t predicted) const {
+  MDL_CHECK(true_label >= 0 && true_label < classes_ && predicted >= 0 &&
+                predicted < classes_,
+            "index out of range");
+  return counts_[static_cast<std::size_t>(true_label * classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t c = 0; c < classes_; ++c)
+    correct += counts_[static_cast<std::size_t>(c * classes_ + c)];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::int64_t cls) const {
+  std::int64_t tp = count(cls, cls);
+  std::int64_t predicted = 0;
+  for (std::int64_t t = 0; t < classes_; ++t) predicted += count(t, cls);
+  return predicted == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::int64_t cls) const {
+  std::int64_t tp = count(cls, cls);
+  std::int64_t actual = 0;
+  for (std::int64_t p = 0; p < classes_; ++p) actual += count(cls, p);
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::int64_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / static_cast<double>(classes_);
+}
+
+double accuracy(std::span<const std::int64_t> labels,
+                std::span<const std::int64_t> predicted) {
+  MDL_CHECK(labels.size() == predicted.size() && !labels.empty(),
+            "accuracy needs equal, non-empty label spans");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == predicted[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double macro_f1(std::span<const std::int64_t> labels,
+                std::span<const std::int64_t> predicted,
+                std::int64_t num_classes) {
+  ConfusionMatrix cm(num_classes);
+  cm.add_batch(labels, predicted);
+  return cm.macro_f1();
+}
+
+}  // namespace mdl::nn

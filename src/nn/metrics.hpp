@@ -1,0 +1,53 @@
+// Classification metrics: accuracy, per-class precision/recall/F1, macro-F1,
+// and the confusion matrix. These feed every table/figure reproduction
+// (Table I reports Accuracy and F1; Fig. 5 reports per-participant accuracy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace mdl::nn {
+
+/// Row-major [classes, classes] confusion counts; entry (t, p) counts
+/// examples of true class t predicted as p.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(std::int64_t true_label, std::int64_t predicted);
+  void add_batch(std::span<const std::int64_t> true_labels,
+                 std::span<const std::int64_t> predicted);
+
+  std::int64_t num_classes() const { return classes_; }
+  std::int64_t count(std::int64_t true_label, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Precision of one class (0 when the class is never predicted).
+  double precision(std::int64_t cls) const;
+  /// Recall of one class (0 when the class never occurs).
+  double recall(std::int64_t cls) const;
+  /// Per-class F1 (harmonic mean of precision and recall).
+  double f1(std::int64_t cls) const;
+  /// Unweighted mean of per-class F1 — the "F1" column of Table I.
+  double macro_f1() const;
+
+ private:
+  std::int64_t classes_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Fraction of predictions equal to labels.
+double accuracy(std::span<const std::int64_t> labels,
+                std::span<const std::int64_t> predicted);
+
+/// Macro-F1 for predictions over `num_classes` classes.
+double macro_f1(std::span<const std::int64_t> labels,
+                std::span<const std::int64_t> predicted,
+                std::int64_t num_classes);
+
+}  // namespace mdl::nn

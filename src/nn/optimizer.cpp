@@ -1,0 +1,121 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mdl::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params, double lr,
+                     double weight_decay)
+    : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
+  MDL_CHECK(!params_.empty(), "optimizer needs at least one parameter");
+  MDL_CHECK(lr > 0.0, "learning rate must be positive, got " << lr);
+  MDL_CHECK(weight_decay >= 0.0, "weight decay must be >= 0");
+  for (Parameter* p : params_) MDL_CHECK(p != nullptr, "null parameter");
+}
+
+void Optimizer::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (weight_decay_ > 0.0)
+      p.grad.add_scaled_(p.value, static_cast<float>(weight_decay_));
+    update(i, p);
+    p.grad.zero();
+  }
+}
+
+SGD::SGD(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params), lr, weight_decay), momentum_(momentum) {
+  MDL_CHECK(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0, 1)");
+  if (momentum_ > 0.0) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_)
+      velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void SGD::update(std::size_t index, Parameter& p) {
+  if (momentum_ > 0.0) {
+    Tensor& v = velocity_[index];
+    v.mul_(static_cast<float>(momentum_));
+    v.add_(p.grad);
+    p.value.add_scaled_(v, static_cast<float>(-lr_));
+  } else {
+    p.value.add_scaled_(p.grad, static_cast<float>(-lr_));
+  }
+}
+
+Adagrad::Adagrad(std::vector<Parameter*> params, double lr, double eps,
+                 double weight_decay)
+    : Optimizer(std::move(params), lr, weight_decay), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (Parameter* p : params_) accum_.emplace_back(p->value.shape());
+}
+
+void Adagrad::update(std::size_t index, Parameter& p) {
+  Tensor& a = accum_[index];
+  for (std::int64_t i = 0; i < p.value.size(); ++i) {
+    const float g = p.grad[i];
+    a[i] += g * g;
+    p.value[i] -= static_cast<float>(
+        lr_ * g / (std::sqrt(static_cast<double>(a[i])) + eps_));
+  }
+}
+
+RMSprop::RMSprop(std::vector<Parameter*> params, double lr, double rho,
+                 double eps, double weight_decay)
+    : Optimizer(std::move(params), lr, weight_decay), rho_(rho), eps_(eps) {
+  MDL_CHECK(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+  mean_sq_.reserve(params_.size());
+  for (Parameter* p : params_) mean_sq_.emplace_back(p->value.shape());
+}
+
+void RMSprop::update(std::size_t index, Parameter& p) {
+  Tensor& s = mean_sq_[index];
+  const float rho = static_cast<float>(rho_);
+  for (std::int64_t i = 0; i < p.value.size(); ++i) {
+    const float g = p.grad[i];
+    s[i] = rho * s[i] + (1.0F - rho) * g * g;
+    p.value[i] -= static_cast<float>(
+        lr_ * g / (std::sqrt(static_cast<double>(s[i])) + eps_));
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params), lr, weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  MDL_CHECK(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0, 1)");
+  MDL_CHECK(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0, 1)");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+  t_.assign(params_.size(), 0);
+}
+
+void Adam::update(std::size_t index, Parameter& p) {
+  Tensor& m = m_[index];
+  Tensor& v = v_[index];
+  const std::int64_t t = ++t_[index];
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t));
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  for (std::int64_t i = 0; i < p.value.size(); ++i) {
+    const float g = p.grad[i];
+    m[i] = b1 * m[i] + (1.0F - b1) * g;
+    v[i] = b2 * v[i] + (1.0F - b2) * g * g;
+    const double mhat = static_cast<double>(m[i]) / bc1;
+    const double vhat = static_cast<double>(v[i]) / bc2;
+    p.value[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+  }
+}
+
+}  // namespace mdl::nn

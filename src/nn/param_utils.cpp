@@ -1,0 +1,97 @@
+#include "nn/param_utils.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mdl::nn {
+
+std::int64_t total_size(std::span<Parameter* const> params) {
+  std::int64_t n = 0;
+  for (Parameter* p : params) n += p->value.size();
+  return n;
+}
+
+namespace {
+
+template <typename Getter>
+std::vector<float> flatten(std::span<Parameter* const> params, Getter get) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(total_size(params)));
+  for (Parameter* p : params) {
+    const Tensor& t = get(*p);
+    out.insert(out.end(), t.data(), t.data() + t.size());
+  }
+  return out;
+}
+
+template <typename Getter>
+void unflatten(std::span<const float> flat, std::span<Parameter* const> params,
+               Getter get) {
+  MDL_CHECK(static_cast<std::int64_t>(flat.size()) == total_size(params),
+            "flat vector size " << flat.size() << " vs parameter total "
+                                << total_size(params));
+  std::size_t off = 0;
+  for (Parameter* p : params) {
+    Tensor& t = get(*p);
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + t.size()),
+              t.data());
+    off += static_cast<std::size_t>(t.size());
+  }
+}
+
+}  // namespace
+
+std::vector<float> flatten_values(std::span<Parameter* const> params) {
+  return flatten(params, [](Parameter& p) -> const Tensor& { return p.value; });
+}
+
+std::vector<float> flatten_grads(std::span<Parameter* const> params) {
+  return flatten(params, [](Parameter& p) -> const Tensor& { return p.grad; });
+}
+
+void unflatten_into_values(std::span<const float> flat,
+                           std::span<Parameter* const> params) {
+  unflatten(flat, params, [](Parameter& p) -> Tensor& { return p.value; });
+}
+
+void unflatten_into_grads(std::span<const float> flat,
+                          std::span<Parameter* const> params) {
+  unflatten(flat, params, [](Parameter& p) -> Tensor& { return p.grad; });
+}
+
+double grad_global_norm(std::span<Parameter* const> params) {
+  double sq = 0.0;
+  for (Parameter* p : params) sq += p->grad.dot(p->grad);
+  return std::sqrt(sq);
+}
+
+double clip_grad_global_norm(std::span<Parameter* const> params,
+                             double max_norm) {
+  MDL_CHECK(max_norm > 0.0, "max_norm must be positive");
+  const double norm = grad_global_norm(params);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.mul_(scale);
+  }
+  return norm;
+}
+
+double l2_norm(std::span<const float> v) {
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  return std::sqrt(sq);
+}
+
+double clip_l2(std::span<float> v, double max_norm) {
+  MDL_CHECK(max_norm > 0.0, "max_norm must be positive");
+  const double norm = l2_norm(v);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (float& x : v) x *= scale;
+  }
+  return norm;
+}
+
+}  // namespace mdl::nn

@@ -1,0 +1,50 @@
+// Utilities over parameter lists: flatten/unflatten, norms, clipping.
+//
+// These are the glue between mdl::nn and the distributed-training stack:
+// the federated simulator ships flattened parameter/update vectors, the DP
+// machinery clips per-example or per-client contributions by global L2
+// norm, and the selective-SGD scheme picks top-|gradient| coordinates out
+// of the flattened gradient.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace mdl::nn {
+
+/// Total scalar count across a parameter list.
+std::int64_t total_size(std::span<Parameter* const> params);
+
+/// Concatenates parameter *values* into one flat vector.
+std::vector<float> flatten_values(std::span<Parameter* const> params);
+
+/// Concatenates parameter *gradients* into one flat vector.
+std::vector<float> flatten_grads(std::span<Parameter* const> params);
+
+/// Writes a flat vector back into the parameter values (sizes must match).
+void unflatten_into_values(std::span<const float> flat,
+                           std::span<Parameter* const> params);
+
+/// Writes a flat vector back into the parameter gradients.
+void unflatten_into_grads(std::span<const float> flat,
+                          std::span<Parameter* const> params);
+
+/// Global L2 norm over all gradients.
+double grad_global_norm(std::span<Parameter* const> params);
+
+/// Scales all gradients so the global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+double clip_grad_global_norm(std::span<Parameter* const> params,
+                             double max_norm);
+
+/// L2 norm of a flat vector.
+double l2_norm(std::span<const float> v);
+
+/// Scales `v` in place so its L2 norm is at most `max_norm` (the update
+/// clipping of DP-FedAvg); returns the pre-clip norm.
+double clip_l2(std::span<float> v, double max_norm);
+
+}  // namespace mdl::nn

@@ -1,0 +1,27 @@
+// Trainable parameter: a named value tensor with its gradient accumulator.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/tensor.hpp"
+
+namespace mdl::nn {
+
+/// A trainable tensor plus its gradient. Gradients are *accumulated* by
+/// Module::backward and cleared by Module::zero_grad / Optimizer::step, the
+/// usual deep-learning contract (so truncated-BPTT and multi-head losses
+/// compose by simple addition).
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.zero(); }
+};
+
+}  // namespace mdl::nn

@@ -1,0 +1,103 @@
+#include "privacy/accountant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace mdl::privacy {
+namespace {
+
+/// log(exp(a) + exp(b)) without overflow.
+double log_add(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  return hi + std::log1p(std::exp(std::min(a, b) - hi));
+}
+
+double log_binom(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double subsampled_gaussian_rdp(double q, double noise_multiplier, int order) {
+  MDL_CHECK(q > 0.0 && q <= 1.0, "sampling ratio must be in (0, 1]");
+  MDL_CHECK(noise_multiplier > 0.0, "noise multiplier must be > 0");
+  MDL_CHECK(order >= 2, "RDP order must be >= 2");
+
+  const double z2 = noise_multiplier * noise_multiplier;
+  if (q >= 1.0) {
+    // Unsubsampled Gaussian: RDP(alpha) = alpha / (2 z^2).
+    return static_cast<double>(order) / (2.0 * z2);
+  }
+
+  // log sum_{k} C(alpha,k) (1-q)^{alpha-k} q^k exp(k(k-1)/(2 z^2))
+  double log_sum = -std::numeric_limits<double>::infinity();
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  for (int k = 0; k <= order; ++k) {
+    const double term = log_binom(order, k) + k * log_q +
+                        (order - k) * log_1mq +
+                        static_cast<double>(k) * (k - 1) / (2.0 * z2);
+    log_sum = log_add(log_sum, term);
+  }
+  return std::max(log_sum, 0.0) / (order - 1.0);
+}
+
+MomentsAccountant::MomentsAccountant(int max_order) {
+  MDL_CHECK(max_order >= 2, "need at least order 2");
+  rdp_.assign(static_cast<std::size_t>(max_order - 1), 0.0);
+}
+
+void MomentsAccountant::add_steps(std::int64_t steps, double q,
+                                  double noise_multiplier) {
+  MDL_CHECK(steps >= 0, "steps must be >= 0");
+  if (steps == 0) return;
+  for (std::size_t i = 0; i < rdp_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) *
+               subsampled_gaussian_rdp(q, noise_multiplier,
+                                       static_cast<int>(i) + 2);
+  }
+}
+
+double MomentsAccountant::epsilon(double delta) const {
+  MDL_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < rdp_.size(); ++i) {
+    const double alpha = static_cast<double>(i) + 2.0;
+    best = std::min(best, rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0));
+  }
+  return best;
+}
+
+int MomentsAccountant::optimal_order(double delta) const {
+  MDL_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  double best = std::numeric_limits<double>::infinity();
+  int best_order = 2;
+  for (std::size_t i = 0; i < rdp_.size(); ++i) {
+    const double alpha = static_cast<double>(i) + 2.0;
+    const double eps = rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_order = static_cast<int>(alpha);
+    }
+  }
+  return best_order;
+}
+
+double MomentsAccountant::rdp_at(int order) const {
+  MDL_CHECK(order >= 2 &&
+                order < static_cast<int>(rdp_.size()) + 2,
+            "order " << order << " not tracked");
+  return rdp_[static_cast<std::size_t>(order - 2)];
+}
+
+void MomentsAccountant::reset() {
+  std::fill(rdp_.begin(), rdp_.end(), 0.0);
+}
+
+}  // namespace mdl::privacy

@@ -1,0 +1,80 @@
+#include "privacy/dp_fedavg.hpp"
+
+#include "privacy/mechanisms.hpp"
+
+namespace mdl::privacy {
+
+DpFedAvgTrainer::DpFedAvgTrainer(federated::ModelFactory factory,
+                                 std::vector<data::TabularDataset> shards,
+                                 DpFedAvgConfig config)
+    : factory_(std::move(factory)),
+      shards_(std::move(shards)),
+      config_(config),
+      rng_(config.seed) {
+  MDL_CHECK(!shards_.empty(), "need at least one client shard");
+  MDL_CHECK(config_.client_sample_prob > 0.0 &&
+                config_.client_sample_prob <= 1.0,
+            "client sample probability must be in (0, 1]");
+  MDL_CHECK(config_.clip_norm > 0.0, "clip norm must be positive");
+  MDL_CHECK(config_.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
+  global_ = factory_(rng_);
+  worker_ = factory_(rng_);
+}
+
+std::vector<DpRoundStats> DpFedAvgTrainer::run(
+    const data::TabularDataset& test) {
+  const auto global_params = global_->parameters();
+  const auto worker_params = worker_->parameters();
+  const std::size_t p_count =
+      static_cast<std::size_t>(nn::total_size(global_params));
+  const double expected_cohort =
+      config_.client_sample_prob * static_cast<double>(shards_.size());
+
+  std::vector<DpRoundStats> history;
+  history.reserve(static_cast<std::size_t>(config_.rounds));
+
+  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    const std::vector<float> w_global = nn::flatten_values(global_params);
+    std::vector<double> update_sum(p_count, 0.0);
+
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (!rng_.bernoulli(config_.client_sample_prob)) continue;
+      nn::unflatten_into_values(w_global, worker_params);
+      Rng client_rng = rng_.fork();
+      federated::local_sgd(*worker_, shards_[k], config_.local_epochs,
+                           config_.batch_size, config_.client_lr, client_rng);
+      std::vector<float> update = nn::flatten_values(worker_params);
+      for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
+      nn::clip_l2(update, config_.clip_norm);  // modification 2
+      for (std::size_t i = 0; i < p_count; ++i)
+        update_sum[i] += static_cast<double>(update[i]);
+    }
+
+    // Modifications 3 + 4: fixed-denominator estimator + Gaussian noise of
+    // stddev z * S / (p K) on the averaged update.
+    const double sigma =
+        config_.noise_multiplier * config_.clip_norm / expected_cohort;
+    std::vector<float> w_next(p_count);
+    for (std::size_t i = 0; i < p_count; ++i) {
+      const double avg_update = update_sum[i] / expected_cohort +
+                                rng_.normal(0.0, sigma);
+      w_next[i] = w_global[i] + static_cast<float>(avg_update);
+    }
+    nn::unflatten_into_values(w_next, global_params);
+
+    if (config_.noise_multiplier > 0.0)
+      accountant_.add_steps(1, config_.client_sample_prob,
+                            config_.noise_multiplier);
+
+    DpRoundStats stats;
+    stats.round = round;
+    stats.test_accuracy = federated::evaluate_accuracy(*global_, test);
+    stats.epsilon = config_.noise_multiplier > 0.0
+                        ? accountant_.epsilon(config_.delta)
+                        : std::numeric_limits<double>::infinity();
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace mdl::privacy

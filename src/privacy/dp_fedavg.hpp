@@ -1,0 +1,62 @@
+// User-level differentially private federated averaging (McMahan et al.,
+// "Learning Differentially Private Recurrent Language Models") — §II-C.
+//
+// Implements exactly the four modifications the paper lists on top of
+// non-private federated training:
+//   1. participants are selected *independently with probability p* rather
+//      than as a fixed-size cohort;
+//   2. each participant's model update is clipped to L2 norm <= S;
+//   3. aggregation uses the fixed-denominator estimator (divide by the
+//      expected cohort size p*K, not the realized one) so the sensitivity
+//      is bounded and the moments accountant applies;
+//   4. Gaussian noise N(0, (z * S / (p*K))^2) is added to the average.
+// Privacy is tracked at the *user* level by the moments accountant with
+// sampling ratio p per round.
+#pragma once
+
+#include "federated/common.hpp"
+#include "privacy/accountant.hpp"
+
+namespace mdl::privacy {
+
+struct DpFedAvgConfig {
+  std::int64_t rounds = 40;
+  double client_sample_prob = 0.5;  ///< p: independent selection probability
+  std::int64_t local_epochs = 5;
+  std::int64_t batch_size = 16;
+  double client_lr = 0.1;
+  double clip_norm = 5.0;           ///< S: per-update L2 clip
+  double noise_multiplier = 1.0;    ///< z
+  double delta = 1e-5;
+  std::uint64_t seed = 19;
+};
+
+struct DpRoundStats {
+  std::int64_t round = 0;
+  double test_accuracy = 0.0;
+  double epsilon = 0.0;  ///< cumulative, at config.delta
+};
+
+/// Parameter server with user-level DP aggregation.
+class DpFedAvgTrainer {
+ public:
+  DpFedAvgTrainer(federated::ModelFactory factory,
+                  std::vector<data::TabularDataset> shards,
+                  DpFedAvgConfig config);
+
+  std::vector<DpRoundStats> run(const data::TabularDataset& test);
+
+  nn::Sequential& global_model() { return *global_; }
+  const MomentsAccountant& accountant() const { return accountant_; }
+
+ private:
+  federated::ModelFactory factory_;
+  std::vector<data::TabularDataset> shards_;
+  DpFedAvgConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Sequential> global_;
+  std::unique_ptr<nn::Sequential> worker_;
+  MomentsAccountant accountant_;
+};
+
+}  // namespace mdl::privacy

@@ -1,0 +1,92 @@
+#include "privacy/dp_sgd.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "privacy/mechanisms.hpp"
+
+namespace mdl::privacy {
+
+DpSgdResult train_dp_sgd(nn::Sequential& model,
+                         const data::TabularDataset& train,
+                         const data::TabularDataset& test,
+                         const DpSgdConfig& config) {
+  MDL_CHECK(train.size() > 0, "empty training set");
+  MDL_CHECK(config.lot_size > 0 && config.lot_size <= train.size(),
+            "lot size must be in [1, N]");
+  MDL_CHECK(config.clip_norm > 0.0, "clip norm must be positive");
+  MDL_CHECK(config.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
+
+  const auto n = static_cast<std::size_t>(train.size());
+  const double q = static_cast<double>(config.lot_size) /
+                   static_cast<double>(train.size());
+  const auto steps_per_epoch = static_cast<std::int64_t>(
+      std::llround(1.0 / q));  // one epoch in expectation
+  Rng rng(config.seed);
+  const auto params = model.parameters();
+  const std::size_t p_count =
+      static_cast<std::size_t>(nn::total_size(params));
+
+  MomentsAccountant accountant;
+  nn::SoftmaxCrossEntropy loss;
+  std::int64_t steps = 0;
+
+  model.set_training(true);
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::int64_t s = 0; s < steps_per_epoch; ++s) {
+      // Poisson subsampling: each example joins the lot with probability q.
+      std::vector<std::size_t> lot;
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(q)) lot.push_back(i);
+      if (lot.empty()) continue;
+
+      std::vector<double> grad_sum(p_count, 0.0);
+      for (const std::size_t i : lot) {
+        // Per-example forward/backward (microbatch of one) so the clip is
+        // genuinely per example.
+        Tensor x = train.features
+                       .slice_rows(static_cast<std::int64_t>(i),
+                                   static_cast<std::int64_t>(i) + 1);
+        const std::int64_t y[] = {train.labels[i]};
+        const Tensor logits = model.forward(x);
+        loss.forward(logits, y);
+        model.zero_grad();
+        model.backward(loss.backward());
+        nn::clip_grad_global_norm(params, config.clip_norm);
+        const std::vector<float> g = nn::flatten_grads(params);
+        for (std::size_t j = 0; j < p_count; ++j)
+          grad_sum[j] += static_cast<double>(g[j]);
+      }
+
+      // Noise the sum, normalize by the expected lot size, and step.
+      const double sigma = config.noise_multiplier * config.clip_norm;
+      std::vector<float> noisy(p_count);
+      for (std::size_t j = 0; j < p_count; ++j)
+        noisy[j] = static_cast<float>(
+            (grad_sum[j] + rng.normal(0.0, sigma)) /
+            static_cast<double>(config.lot_size));
+
+      std::size_t off = 0;
+      for (nn::Parameter* p : params) {
+        for (std::int64_t j = 0; j < p->value.size(); ++j)
+          p->value[j] -= static_cast<float>(config.lr) * noisy[off + static_cast<std::size_t>(j)];
+        off += static_cast<std::size_t>(p->value.size());
+        p->grad.zero();
+      }
+      ++steps;
+    }
+  }
+
+  if (config.noise_multiplier > 0.0)
+    accountant.add_steps(steps, q, config.noise_multiplier);
+
+  DpSgdResult result;
+  result.steps = steps;
+  result.test_accuracy = federated::evaluate_accuracy(model, test);
+  result.epsilon = config.noise_multiplier > 0.0
+                       ? accountant.epsilon(config.delta)
+                       : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace mdl::privacy

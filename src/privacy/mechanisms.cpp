@@ -1,0 +1,41 @@
+#include "privacy/mechanisms.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace mdl::privacy {
+
+void laplace_mechanism(std::span<float> values, double sensitivity,
+                       double epsilon, Rng& rng) {
+  MDL_CHECK(sensitivity >= 0.0, "sensitivity must be >= 0");
+  MDL_CHECK(epsilon > 0.0, "epsilon must be > 0");
+  const double scale = sensitivity / epsilon;
+  for (float& v : values) v += static_cast<float>(rng.laplace(scale));
+}
+
+void add_gaussian_noise(std::span<float> values, double stddev, Rng& rng) {
+  MDL_CHECK(stddev >= 0.0, "stddev must be >= 0");
+  if (stddev == 0.0) return;
+  for (float& v : values) v += static_cast<float>(rng.normal(0.0, stddev));
+}
+
+double gaussian_sigma(double sensitivity, double epsilon, double delta) {
+  MDL_CHECK(sensitivity >= 0.0 && epsilon > 0.0 && delta > 0.0 && delta < 1.0,
+            "invalid Gaussian mechanism parameters");
+  return sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+std::int64_t nullify(std::span<float> values, double rate, Rng& rng) {
+  MDL_CHECK(rate >= 0.0 && rate <= 1.0, "nullification rate must be in [0,1]");
+  std::int64_t count = 0;
+  for (float& v : values) {
+    if (rng.bernoulli(rate)) {
+      v = 0.0F;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mdl::privacy

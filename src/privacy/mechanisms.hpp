@@ -1,0 +1,33 @@
+// Differential-privacy noise mechanisms (§II-C, §III-A).
+//
+// The Laplace and Gaussian mechanisms are the building blocks of every
+// privacy-preserving scheme the paper surveys: DP-SGD perturbs clipped
+// per-example gradients, DP-FedAvg perturbs the averaged client update, and
+// the private split-inference framework (Fig. 3) perturbs the on-device
+// feature representation with nullification + noise.
+#pragma once
+
+#include <span>
+
+#include "core/random.hpp"
+
+namespace mdl::privacy {
+
+/// Adds i.i.d. Laplace(sensitivity / epsilon) noise — the classic
+/// eps-differentially-private mechanism for L1 sensitivity.
+void laplace_mechanism(std::span<float> values, double sensitivity,
+                       double epsilon, Rng& rng);
+
+/// Adds i.i.d. Gaussian noise of the given standard deviation.
+void add_gaussian_noise(std::span<float> values, double stddev, Rng& rng);
+
+/// Standard deviation for the (eps, delta) Gaussian mechanism with L2
+/// sensitivity `sensitivity`: sigma = sensitivity * sqrt(2 ln(1.25/delta)) / eps.
+double gaussian_sigma(double sensitivity, double epsilon, double delta);
+
+/// Nullification: zeroes each coordinate independently with probability
+/// `rate` (the data-hiding half of the Fig. 3 perturbation). Returns the
+/// number of nullified coordinates.
+std::int64_t nullify(std::span<float> values, double rate, Rng& rng);
+
+}  // namespace mdl::privacy

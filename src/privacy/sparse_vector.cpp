@@ -1,0 +1,49 @@
+#include "privacy/sparse_vector.hpp"
+
+#include "core/error.hpp"
+
+namespace mdl::privacy {
+
+SparseVector::SparseVector(double epsilon, double threshold,
+                           std::int64_t max_hits, double sensitivity,
+                           Rng& rng)
+    : epsilon_(epsilon),
+      threshold_(threshold),
+      max_hits_(max_hits),
+      sensitivity_(sensitivity),
+      rng_(rng.fork()) {
+  MDL_CHECK(epsilon > 0.0, "epsilon must be positive");
+  MDL_CHECK(max_hits > 0, "max_hits must be positive");
+  MDL_CHECK(sensitivity > 0.0, "sensitivity must be positive");
+  resample_threshold();
+}
+
+void SparseVector::resample_threshold() {
+  // Budget split: eps/2 for the threshold, eps/2 across the c hits
+  // (Dwork & Roth, Algorithm "NumericSparse" threshold refresh).
+  const double eps1 = epsilon_ / 2.0;
+  noisy_threshold_ = threshold_ + rng_.laplace(sensitivity_ / eps1);
+}
+
+bool SparseVector::query(double value) {
+  MDL_CHECK(active(), "sparse vector budget exhausted after " << hits_
+                                                              << " hits");
+  const double eps2 = epsilon_ / 2.0;
+  const double noise =
+      rng_.laplace(2.0 * static_cast<double>(max_hits_) * sensitivity_ / eps2);
+  if (value + noise >= noisy_threshold_) {
+    ++hits_;
+    if (active()) resample_threshold();
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> SparseVector::select(std::span<const double> values) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < values.size() && active(); ++i)
+    if (query(values[i])) out.push_back(i);
+  return out;
+}
+
+}  // namespace mdl::privacy

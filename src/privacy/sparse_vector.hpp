@@ -1,0 +1,52 @@
+// Sparse Vector Technique (AboveThreshold) — the mechanism Shokri &
+// Shmatikov use to privately decide *which* gradient coordinates to upload
+// in distributed selective SGD (§II-C).
+//
+// Given a stream of queries with sensitivity 1, AboveThreshold privately
+// reports whether each query exceeds a threshold, halting after `max_hits`
+// positive answers, at total privacy cost epsilon (independent of the
+// number of negative answers — the property that makes selective gradient
+// release affordable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace mdl::privacy {
+
+/// Streaming AboveThreshold with a budget of `max_hits` positive reports.
+class SparseVector {
+ public:
+  /// `epsilon` is the total privacy budget; `sensitivity` bounds each
+  /// query's change under neighboring inputs.
+  SparseVector(double epsilon, double threshold, std::int64_t max_hits,
+               double sensitivity, Rng& rng);
+
+  /// Tests one query. Returns true when the (noisy) query exceeds the
+  /// (noisy) threshold; throws once the hit budget is exhausted.
+  bool query(double value);
+
+  /// True while the mechanism can still answer.
+  bool active() const { return hits_ < max_hits_; }
+  std::int64_t hits() const { return hits_; }
+
+  /// Convenience: indices of (up to max_hits) queries that fired.
+  std::vector<std::size_t> select(std::span<const double> values);
+
+ private:
+  void resample_threshold();
+
+  double epsilon_;
+  double threshold_;
+  std::int64_t max_hits_;
+  double sensitivity_;
+  Rng rng_;
+  double noisy_threshold_ = 0.0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace mdl::privacy

@@ -1,0 +1,203 @@
+#include "apps/multiview_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/keystroke.hpp"
+
+namespace mdl::apps {
+namespace {
+
+data::MultiViewDataset tiny_user_dataset(std::uint64_t seed,
+                                         std::int64_t users = 3,
+                                         std::int64_t sessions = 20) {
+  data::KeystrokeConfig kc;
+  kc.alnum_len = 12;
+  kc.special_len = 6;
+  kc.accel_len = 16;
+  data::KeystrokeSimulator sim(kc);
+  Rng rng(seed);
+  return sim.user_identification_dataset(users, sessions, rng);
+}
+
+MultiViewConfig tiny_config(const data::MultiViewDataset& ds,
+                            fusion::FusionKind kind) {
+  MultiViewConfig c;
+  c.view_dims = ds.view_dims;
+  c.seq_lens = ds.seq_lens;
+  c.hidden = 8;
+  c.fusion_kind = kind;
+  c.fusion_capacity = kind == fusion::FusionKind::kFullyConnected ? 16 : 4;
+  c.classes = ds.num_classes;
+  return c;
+}
+
+TEST(MultiViewModel, ForwardShapeAndParams) {
+  const auto ds = tiny_user_dataset(1);
+  Rng rng(2);
+  MultiViewModel model(tiny_config(ds, fusion::FusionKind::kMultiviewMachine),
+                       rng);
+  const std::vector<std::size_t> idx{0, 1, 2, 3};
+  const auto batch = data::make_batch(ds, idx);
+  const Tensor logits = model.forward(batch.views);
+  EXPECT_EQ(logits.shape(0), 4);
+  EXPECT_EQ(logits.shape(1), 3);
+  EXPECT_GT(model.param_count(), 0);
+  EXPECT_GT(model.flops_per_example(), 0);
+  EXPECT_NE(model.name().find("MultiView"), std::string::npos);
+}
+
+TEST(MultiViewModel, RejectsWrongViewCount) {
+  const auto ds = tiny_user_dataset(3);
+  Rng rng(4);
+  MultiViewModel model(tiny_config(ds, fusion::FusionKind::kFullyConnected),
+                       rng);
+  std::vector<Tensor> two_views{Tensor({12, 1, 4}), Tensor({6, 1, 6})};
+  EXPECT_THROW(model.forward(two_views), Error);
+}
+
+TEST(MultiViewModel, InvalidConfigThrows) {
+  MultiViewConfig bad;
+  bad.view_dims = {4};
+  bad.seq_lens = {8, 8};  // mismatch
+  bad.classes = 2;
+  Rng rng(5);
+  EXPECT_THROW(MultiViewModel(bad, rng), Error);
+}
+
+class FusionKindTrainingTest
+    : public ::testing::TestWithParam<fusion::FusionKind> {};
+
+TEST_P(FusionKindTrainingTest, LearnsUserIdentification) {
+  const auto ds = tiny_user_dataset(6, 3, 30);
+  Rng split_rng(7);
+  const auto split = data::train_test_split(ds, 0.3, split_rng);
+  Rng rng(8);
+  MultiViewModel model(tiny_config(ds, GetParam()), rng);
+  MultiViewTrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 16;
+  MultiViewTrainer trainer(model, tc);
+  trainer.train(split.train);
+  const EvalResult result = trainer.evaluate(split.test);
+  // 3 well-separated simulated users: far above the 1/3 chance level.
+  EXPECT_GT(result.accuracy, 0.6) << to_string(GetParam());
+  EXPECT_GT(result.macro_f1, 0.5) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFusions, FusionKindTrainingTest,
+                         ::testing::Values(
+                             fusion::FusionKind::kFullyConnected,
+                             fusion::FusionKind::kFactorizationMachine,
+                             fusion::FusionKind::kMultiviewMachine),
+                         [](const auto& info) {
+                           return fusion::to_string(info.param);
+                         });
+
+TEST(MultiViewTrainer, PredictMatchesDatasetSize) {
+  const auto ds = tiny_user_dataset(9, 3, 10);
+  Rng rng(10);
+  MultiViewModel model(tiny_config(ds, fusion::FusionKind::kMultiviewMachine),
+                       rng);
+  MultiViewTrainConfig tc;
+  tc.epochs = 1;
+  MultiViewTrainer trainer(model, tc);
+  trainer.train(ds);
+  const auto pred = trainer.predict(ds);
+  EXPECT_EQ(pred.size(), ds.examples.size());
+  for (const auto p : pred) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+TEST(MultiViewTrainer, PerGroupAccuracyConsistent) {
+  const auto ds = tiny_user_dataset(11, 4, 8);
+  Rng rng(12);
+  MultiViewModel model(tiny_config(ds, fusion::FusionKind::kMultiviewMachine),
+                       rng);
+  MultiViewTrainConfig tc;
+  tc.epochs = 2;
+  MultiViewTrainer trainer(model, tc);
+  trainer.train(ds);
+  const auto per_group = trainer.per_group_accuracy(ds);
+  EXPECT_EQ(per_group.size(), 4U);
+  std::int64_t total = 0;
+  double weighted_correct = 0.0;
+  for (const auto& [group, stats] : per_group) {
+    EXPECT_EQ(stats.first, 8);
+    EXPECT_GE(stats.second, 0.0);
+    EXPECT_LE(stats.second, 1.0);
+    total += stats.first;
+    weighted_correct += stats.second * static_cast<double>(stats.first);
+  }
+  EXPECT_EQ(total, ds.size());
+  // Weighted mean of per-group accuracy equals overall accuracy.
+  const EvalResult overall = trainer.evaluate(ds);
+  EXPECT_NEAR(weighted_correct / static_cast<double>(total), overall.accuracy,
+              1e-9);
+}
+
+TEST(MultiViewTrainer, TrainingReducesLoss) {
+  const auto ds = tiny_user_dataset(13, 3, 20);
+  Rng rng(14);
+  MultiViewModel model(tiny_config(ds, fusion::FusionKind::kFullyConnected),
+                       rng);
+  MultiViewTrainConfig one;
+  one.epochs = 1;
+  one.seed = 5;
+  MultiViewTrainer t1(model, one);
+  const double loss_first = t1.train(ds);
+
+  MultiViewTrainConfig more;
+  more.epochs = 10;
+  more.seed = 5;
+  MultiViewTrainer t2(model, more);
+  const double loss_later = t2.train(ds);
+  EXPECT_LT(loss_later, loss_first);
+}
+
+TEST(MultiViewModel, BidirectionalDoublesFusedWidth) {
+  const auto ds = tiny_user_dataset(15, 3, 10);
+  Rng rng(16);
+  MultiViewConfig uni_cfg = tiny_config(ds, fusion::FusionKind::kFullyConnected);
+  MultiViewConfig bi_cfg = uni_cfg;
+  bi_cfg.bidirectional = true;
+  MultiViewModel uni(uni_cfg, rng);
+  MultiViewModel bi(bi_cfg, rng);
+  EXPECT_GT(bi.param_count(), uni.param_count());
+  EXPECT_NE(bi.name().find("MultiView"), std::string::npos);
+  const std::vector<std::size_t> idx{0, 1};
+  const auto batch = data::make_batch(ds, idx);
+  const Tensor logits = bi.forward(batch.views);
+  EXPECT_EQ(logits.shape(1), ds.num_classes);
+}
+
+TEST(MultiViewModel, BidirectionalTrains) {
+  const auto ds = tiny_user_dataset(17, 3, 25);
+  Rng split_rng(18);
+  const auto split = data::train_test_split(ds, 0.3, split_rng);
+  Rng rng(19);
+  MultiViewConfig cfg = tiny_config(ds, fusion::FusionKind::kMultiviewMachine);
+  cfg.bidirectional = true;
+  MultiViewModel model(cfg, rng);
+  MultiViewTrainConfig tc;
+  tc.epochs = 10;
+  MultiViewTrainer trainer(model, tc);
+  trainer.train(split.train);
+  EXPECT_GT(trainer.evaluate(split.test).accuracy, 0.55);
+}
+
+TEST(Configs, FactoriesMatchPaperSettings) {
+  const std::vector<std::int64_t> dims{4, 6, 3};
+  const std::vector<std::int64_t> lens{32, 12, 48};
+  const MultiViewConfig dm =
+      deepmood_config(dims, lens, fusion::FusionKind::kFactorizationMachine);
+  EXPECT_EQ(dm.classes, 2);
+  EXPECT_EQ(dm.view_dims, dims);
+  const MultiViewConfig dsrv = deepservice_config(dims, lens, 26);
+  EXPECT_EQ(dsrv.classes, 26);
+  EXPECT_EQ(dsrv.fusion_kind, fusion::FusionKind::kMultiviewMachine);
+}
+
+}  // namespace
+}  // namespace mdl::apps

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "compress/deep_compression.hpp"
+#include "compress/distill.hpp"
+#include "compress/huffman.hpp"
+#include "compress/low_rank.hpp"
+#include "compress/prune.hpp"
+#include "compress/quantize.hpp"
+#include "compress/sparse_matrix.hpp"
+#include "data/synthetic.hpp"
+#include "federated/common.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+
+namespace mdl::compress {
+namespace {
+
+// ------------------------------------------------------------------- CSR
+
+TEST(Csr, DenseRoundTrip) {
+  Rng rng(1);
+  Tensor d = Tensor::randn({5, 7}, rng);
+  d[3] = 0.0F;
+  d[10] = 0.0F;
+  const CsrMatrix m = CsrMatrix::from_dense(d);
+  EXPECT_TRUE(allclose(m.to_dense(), d, 0.0F));
+  EXPECT_EQ(m.nnz(), 33);
+}
+
+TEST(Csr, ThresholdDropsSmallEntries) {
+  const Tensor d({2, 2}, {0.05F, -0.5F, 0.2F, 0.01F});
+  const CsrMatrix m = CsrMatrix::from_dense(d, 0.1F);
+  EXPECT_EQ(m.nnz(), 2);
+  const Tensor back = m.to_dense();
+  EXPECT_EQ(back.at(0, 0), 0.0F);
+  EXPECT_EQ(back.at(0, 1), -0.5F);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  Rng rng(2);
+  Tensor d = Tensor::randn({6, 9}, rng);
+  prune_by_magnitude(d, 0.5);
+  const CsrMatrix m = CsrMatrix::from_dense(d);
+  const Tensor x = Tensor::randn({9}, rng);
+  const Tensor dense_y = matvec(d, x);
+  const Tensor sparse_y = m.matvec(x);
+  for (std::int64_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-4);
+  EXPECT_THROW(m.matvec(Tensor({8})), Error);
+}
+
+TEST(Csr, MatmulMatchesDense) {
+  Rng rng(3);
+  Tensor d = Tensor::randn({4, 6}, rng);
+  prune_by_magnitude(d, 0.4);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  EXPECT_TRUE(allclose(CsrMatrix::from_dense(d).matmul(b), matmul(d, b),
+                       1e-4F));
+}
+
+TEST(Csr, StorageBytesFormula) {
+  const Tensor d({2, 3}, {1, 0, 2, 0, 0, 3});
+  const CsrMatrix m = CsrMatrix::from_dense(d);
+  // 3 values*4 + 3 col idx*4 + 3 row ptr*4 = 36.
+  EXPECT_EQ(m.storage_bytes(), 36U);
+  EXPECT_NEAR(m.density(), 0.5, 1e-9);
+}
+
+// ----------------------------------------------------------------- Prune
+
+TEST(Prune, ExactSparsityFraction) {
+  Rng rng(4);
+  Tensor t = Tensor::randn({40, 25}, rng);
+  prune_by_magnitude(t, 0.9);
+  EXPECT_NEAR(measure_sparsity(t), 0.9, 1e-3);
+}
+
+TEST(Prune, KeepsLargestMagnitudes) {
+  Tensor t({6}, {0.1F, -5.0F, 0.2F, 3.0F, -0.05F, 1.0F});
+  prune_by_magnitude(t, 0.5);
+  EXPECT_EQ(t[1], -5.0F);
+  EXPECT_EQ(t[3], 3.0F);
+  EXPECT_EQ(t[5], 1.0F);
+  EXPECT_EQ(t[0], 0.0F);
+  EXPECT_EQ(t[2], 0.0F);
+  EXPECT_EQ(t[4], 0.0F);
+}
+
+TEST(Prune, ZeroSparsityIsNoop) {
+  Rng rng(5);
+  const Tensor orig = Tensor::randn({10}, rng);
+  Tensor t = orig;
+  prune_by_magnitude(t, 0.0);
+  EXPECT_TRUE(allclose(t, orig, 0.0F));
+  EXPECT_THROW(prune_by_magnitude(t, 1.0), Error);
+}
+
+TEST(Prune, ModelPruneSkipsBiases) {
+  Rng rng(6);
+  nn::Sequential model;
+  model.emplace<nn::Linear>(10, 10, rng);
+  // Make the bias nonzero so we can verify it survives.
+  model.parameters()[1]->value.fill(1.0F);
+  const double sparsity = prune_model(model, 0.8);
+  EXPECT_NEAR(sparsity, 0.8, 0.01);
+  EXPECT_EQ(model.parameters()[1]->value.min(), 1.0F);  // bias untouched
+  EXPECT_NEAR(measure_model_sparsity(model), 0.8, 0.01);
+}
+
+TEST(Prune, GradientMaskKeepsZerosPruned) {
+  Rng rng(7);
+  nn::Sequential model;
+  model.emplace<nn::Linear>(4, 4, rng);
+  prune_model(model, 0.5);
+  for (nn::Parameter* p : model.parameters()) p->grad.fill(1.0F);
+  mask_pruned_gradients(model);
+  const nn::Parameter* w = model.parameters()[0];
+  for (std::int64_t i = 0; i < w->value.size(); ++i)
+    EXPECT_EQ(w->grad[i], w->value[i] == 0.0F ? 0.0F : 1.0F);
+}
+
+// -------------------------------------------------------------- Quantize
+
+TEST(Quantize, RoundTripPreservesShapeAndZeros) {
+  Rng rng(8);
+  Tensor t = Tensor::randn({8, 8}, rng);
+  prune_by_magnitude(t, 0.5);
+  QuantizeConfig cfg;
+  cfg.bits = 5;
+  const QuantizedTensor q = quantize_kmeans(t, cfg);
+  const Tensor back = q.dequantize();
+  EXPECT_TRUE(back.same_shape(t));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    if (t[i] == 0.0F) {
+      EXPECT_EQ(back[i], 0.0F);  // pruning survives
+    }
+  }
+}
+
+TEST(Quantize, MoreBitsLessError) {
+  Rng rng(9);
+  const Tensor t = Tensor::randn({30, 30}, rng);
+  QuantizeConfig low;
+  low.bits = 2;
+  QuantizeConfig high;
+  high.bits = 8;
+  const float err_low = quantize_kmeans(t, low).max_error(t);
+  const float err_high = quantize_kmeans(t, high).max_error(t);
+  EXPECT_LT(err_high, err_low);
+  EXPECT_LT(err_high, 0.1F);
+}
+
+TEST(Quantize, CodebookSizeBounded) {
+  Rng rng(10);
+  const Tensor t = Tensor::randn({100}, rng);
+  QuantizeConfig cfg;
+  cfg.bits = 3;
+  const QuantizedTensor q = quantize_kmeans(t, cfg);
+  EXPECT_LE(q.codebook.size(), 8U);  // 2^3 - 1 nonzero + zero slot
+  EXPECT_EQ(q.codebook[0], 0.0F);
+  for (const std::uint32_t idx : q.indices) EXPECT_LT(idx, q.codebook.size());
+}
+
+TEST(Quantize, AllZeroTensor) {
+  const Tensor t({4, 4});
+  const QuantizedTensor q = quantize_kmeans(t, {});
+  EXPECT_EQ(q.dequantize().sum(), 0.0);
+}
+
+TEST(Quantize, FewDistinctValuesExactlyRepresentable) {
+  Tensor t({6}, {1.0F, 2.0F, 1.0F, 2.0F, 0.0F, 1.0F});
+  QuantizeConfig cfg;
+  cfg.bits = 4;
+  const QuantizedTensor q = quantize_kmeans(t, cfg);
+  EXPECT_LT(q.max_error(t), 1e-5F);
+}
+
+TEST(Quantize, StorageBytesAccountsBitWidth) {
+  Rng rng(11);
+  const Tensor t = Tensor::randn({1000}, rng);
+  QuantizeConfig cfg;
+  cfg.bits = 4;
+  const QuantizedTensor q = quantize_kmeans(t, cfg);
+  EXPECT_EQ(q.storage_bytes(), (1000 * 4 + 7) / 8 + q.codebook.size() * 4);
+}
+
+TEST(Quantize, SerializationRoundTrip) {
+  Rng rng(12);
+  Tensor t = Tensor::randn({9, 5}, rng);
+  prune_by_magnitude(t, 0.3);
+  QuantizeConfig cfg;
+  cfg.bits = 5;
+  const QuantizedTensor q = quantize_kmeans(t, cfg);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  write_quantized(w, q);
+  BinaryReader r(ss);
+  const QuantizedTensor back = read_quantized(r);
+  EXPECT_EQ(back.indices, q.indices);
+  EXPECT_EQ(back.codebook, q.codebook);
+  EXPECT_TRUE(allclose(back.dequantize(), q.dequantize(), 0.0F));
+  EXPECT_THROW(quantize_kmeans(t, {.bits = 0}), Error);
+}
+
+// --------------------------------------------------------------- Huffman
+
+TEST(Huffman, RoundTripRandomStreams) {
+  Rng rng(13);
+  for (const std::uint32_t alphabet : {2U, 5U, 17U, 64U}) {
+    std::vector<std::uint32_t> symbols(500);
+    for (auto& s : symbols)
+      s = static_cast<std::uint32_t>(rng.uniform_int(alphabet));
+    const HuffmanEncoded enc = huffman_encode(symbols, alphabet);
+    EXPECT_EQ(huffman_decode(enc), symbols) << "alphabet " << alphabet;
+  }
+}
+
+TEST(Huffman, SingleSymbolStream) {
+  const std::vector<std::uint32_t> symbols(100, 3);
+  const HuffmanEncoded enc = huffman_encode(symbols, 8);
+  EXPECT_EQ(huffman_decode(enc), symbols);
+  // 1 bit per symbol => ~13 bytes payload.
+  EXPECT_LE(enc.payload.size(), 14U);
+}
+
+TEST(Huffman, EmptyStream) {
+  const std::vector<std::uint32_t> symbols;
+  const HuffmanEncoded enc = huffman_encode(symbols, 4);
+  EXPECT_TRUE(huffman_decode(enc).empty());
+}
+
+TEST(Huffman, SkewedStreamBeatsFixedWidth) {
+  // 90% zeros over a 16-symbol alphabet: Huffman should beat the 4-bit
+  // fixed-width encoding substantially.
+  Rng rng(14);
+  std::vector<std::uint32_t> symbols(4000);
+  for (auto& s : symbols)
+    s = rng.bernoulli(0.9)
+            ? 0U
+            : static_cast<std::uint32_t>(1 + rng.uniform_int(15));
+  const HuffmanEncoded enc = huffman_encode(symbols, 16);
+  const double fixed_bits = 4.0 * static_cast<double>(symbols.size());
+  const double huff_bits = 8.0 * static_cast<double>(enc.payload.size());
+  EXPECT_LT(huff_bits, 0.6 * fixed_bits);
+  // And it can't beat entropy.
+  const double entropy_bits =
+      stream_entropy_bits(symbols, 16) * static_cast<double>(symbols.size());
+  EXPECT_GE(huff_bits + 8.0, entropy_bits);
+  EXPECT_EQ(huffman_decode(enc), symbols);
+}
+
+TEST(Huffman, NearEntropyOnUniform) {
+  Rng rng(15);
+  std::vector<std::uint32_t> symbols(8000);
+  for (auto& s : symbols)
+    s = static_cast<std::uint32_t>(rng.uniform_int(8));
+  const HuffmanEncoded enc = huffman_encode(symbols, 8);
+  const double bits_per_symbol =
+      8.0 * static_cast<double>(enc.payload.size()) /
+      static_cast<double>(symbols.size());
+  EXPECT_NEAR(bits_per_symbol, 3.0, 0.1);  // entropy = 3 bits
+}
+
+TEST(Huffman, SymbolOutsideAlphabetThrows) {
+  const std::vector<std::uint32_t> symbols{5};
+  EXPECT_THROW(huffman_encode(symbols, 4), Error);
+}
+
+TEST(Huffman, EntropyHelper) {
+  const std::vector<std::uint32_t> uniform{0, 1, 2, 3};
+  EXPECT_NEAR(stream_entropy_bits(uniform, 4), 2.0, 1e-9);
+  const std::vector<std::uint32_t> constant{1, 1, 1};
+  EXPECT_NEAR(stream_entropy_bits(constant, 4), 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- Low rank
+
+TEST(Svd, ReconstructsMatrix) {
+  Rng rng(16);
+  const Tensor a = Tensor::randn({6, 4}, rng);
+  const Svd svd = svd_jacobi(a);
+  const Tensor recon = low_rank_approx(svd, 4);
+  EXPECT_LT(max_abs_diff(recon, a), 1e-3F);
+}
+
+TEST(Svd, WideMatrix) {
+  Rng rng(17);
+  const Tensor a = Tensor::randn({3, 8}, rng);
+  const Svd svd = svd_jacobi(a);
+  EXPECT_LT(max_abs_diff(low_rank_approx(svd, 3), a), 1e-3F);
+}
+
+TEST(Svd, SingularValuesSortedNonNegative) {
+  Rng rng(18);
+  const Svd svd = svd_jacobi(Tensor::randn({5, 5}, rng));
+  for (std::int64_t i = 0; i < svd.s.size(); ++i) {
+    EXPECT_GE(svd.s[i], 0.0F);
+    if (i > 0) {
+      EXPECT_LE(svd.s[i], svd.s[i - 1]);
+    }
+  }
+}
+
+TEST(Svd, ColumnsOrthonormal) {
+  Rng rng(19);
+  const Svd svd = svd_jacobi(Tensor::randn({7, 4}, rng));
+  const Tensor utu = matmul_tn(svd.u, svd.u);
+  const Tensor vtv = matmul_tn(svd.v, svd.v);
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const float expected = i == j ? 1.0F : 0.0F;
+      EXPECT_NEAR(utu.at(i, j), expected, 1e-3);
+      EXPECT_NEAR(vtv.at(i, j), expected, 1e-3);
+    }
+}
+
+TEST(Svd, KnownRankOneMatrix) {
+  // a = u v^T has exactly one nonzero singular value = |u||v|.
+  const Tensor u({3}, {1, 2, 2});  // norm 3
+  const Tensor v({2}, {3, 4});     // norm 5
+  Tensor a({3, 2});
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 2; ++j) a[i * 2 + j] = u[i] * v[j];
+  const Svd svd = svd_jacobi(a);
+  EXPECT_NEAR(svd.s[0], 15.0F, 1e-3);
+  EXPECT_NEAR(svd.s[1], 0.0F, 1e-3);
+}
+
+TEST(LowRank, TruncationErrorBoundedBySingularValues) {
+  Rng rng(20);
+  const Tensor a = Tensor::randn({8, 8}, rng);
+  const Svd svd = svd_jacobi(a);
+  const Tensor r4 = low_rank_approx(svd, 4);
+  // Spectral-norm error of best rank-4 approx = sigma_5; elementwise diff
+  // can't exceed it by much.
+  EXPECT_LE(max_abs_diff(r4, a), svd.s[4] + 1e-3F);
+}
+
+TEST(LowRank, FactorizeWeightComposes) {
+  Rng rng(21);
+  const Tensor w = Tensor::randn({6, 10}, rng);
+  const auto [b, a] = factorize_weight(w, 6);
+  EXPECT_EQ(b.shape(0), 6);
+  EXPECT_EQ(a.shape(1), 10);
+  EXPECT_LT(max_abs_diff(matmul(b, a), w), 1e-3F);
+}
+
+TEST(LowRank, FactorizeMlpLosslessOnLowRankWeights) {
+  Rng rng(22);
+  nn::Sequential model;
+  auto& l1 = model.emplace<nn::Linear>(6, 8, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Linear>(8, 3, rng);
+  // Give the first layer an exactly rank-3 weight so rank-5 factorization
+  // is lossless; the 8->3 head (min dim 3 <= 5) must be copied verbatim.
+  l1.weight().value =
+      matmul(Tensor::randn({8, 3}, rng), Tensor::randn({3, 6}, rng));
+  auto factored = low_rank_factorize_mlp(model, 5, rng);
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  EXPECT_LT(max_abs_diff(model.forward(x), factored->forward(x)), 1e-2F);
+  EXPECT_EQ(factored->size(), 4U);  // 6->5, 5->8, ReLU, 8->3
+}
+
+TEST(LowRank, FactorizeMlpCopiesSmallLayers) {
+  Rng rng(30);
+  nn::Sequential model;
+  model.emplace<nn::Linear>(4, 5, rng);
+  // Rank >= min dim: splitting cannot pay off, layer is copied as-is.
+  auto factored = low_rank_factorize_mlp(model, 4, rng);
+  EXPECT_EQ(factored->size(), 1U);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  EXPECT_TRUE(allclose(model.forward(x), factored->forward(x), 1e-6F));
+}
+
+TEST(LowRank, ParamCountHelper) {
+  EXPECT_EQ(low_rank_param_count(100, 200, 10), 10 * 300);
+}
+
+// ----------------------------------------------------- Deep Compression
+
+struct CompressFixture : ::testing::Test {
+  CompressFixture() {
+    Rng data_rng(23);
+    data::SyntheticConfig c;
+    c.num_samples = 300;
+    c.num_features = 16;
+    c.num_classes = 4;
+    c.class_sep = 3.0;
+    const auto ds = data::make_classification(c, data_rng);
+    const auto split = data::train_test_split(ds, 0.25, data_rng);
+    train_set = split.train;
+    test_set = split.test;
+    Rng model_rng(24);
+    model = federated::mlp_factory(16, 32, 4)(model_rng);
+    Rng sgd_rng(25);
+    federated::local_sgd(*model, train_set, 30, 16, 0.1, sgd_rng);
+  }
+  data::TabularDataset train_set, test_set;
+  std::unique_ptr<nn::Sequential> model;
+};
+
+TEST_F(CompressFixture, PipelineShrinksStorageMonotonically) {
+  const double base_acc = federated::evaluate_accuracy(*model, test_set);
+  EXPECT_GT(base_acc, 0.78);
+  const std::uint64_t dense = model_dense_bytes(*model);
+
+  prune_model(*model, 0.7);
+  const std::uint64_t pruned = model_pruned_bytes(*model);
+  EXPECT_LT(pruned, dense);
+
+  QuantizeConfig qc;
+  qc.bits = 5;
+  const CompressedModel cm = compress_model(*model, qc);
+  EXPECT_LT(cm.quantized_bytes(), pruned);
+  EXPECT_LT(cm.compressed_bytes(), cm.quantized_bytes());
+}
+
+TEST_F(CompressFixture, RestoreKeepsAccuracy) {
+  const double base_acc = federated::evaluate_accuracy(*model, test_set);
+  prune_model(*model, 0.5);
+  QuantizeConfig qc;
+  qc.bits = 6;
+  const CompressedModel cm = compress_model(*model, qc);
+
+  Rng rng(26);
+  auto restored = federated::mlp_factory(16, 32, 4)(rng);
+  cm.restore_into(*restored);
+  const double restored_acc =
+      federated::evaluate_accuracy(*restored, test_set);
+  EXPECT_GT(restored_acc, base_acc - 0.1);
+}
+
+TEST_F(CompressFixture, ArtifactSerializationRoundTrip) {
+  prune_model(*model, 0.6);
+  const CompressedModel cm = compress_model(*model, {});
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  write_compressed(w, cm);
+  BinaryReader r(ss);
+  const CompressedModel back = read_compressed(r);
+  ASSERT_EQ(back.entries.size(), cm.entries.size());
+
+  Rng rng(27);
+  auto m1 = federated::mlp_factory(16, 32, 4)(rng);
+  auto m2 = federated::mlp_factory(16, 32, 4)(rng);
+  cm.restore_into(*m1);
+  back.restore_into(*m2);
+  const Tensor x = Tensor::randn({3, 16}, rng);
+  EXPECT_TRUE(allclose(m1->forward(x), m2->forward(x), 0.0F));
+}
+
+TEST_F(CompressFixture, RestoreIntoWrongModelThrows) {
+  const CompressedModel cm = compress_model(*model, {});
+  Rng rng(28);
+  auto wrong = federated::mlp_factory(16, 16, 4)(rng);
+  EXPECT_THROW(cm.restore_into(*wrong), Error);
+}
+
+TEST_F(CompressFixture, DistilledStudentApproachesTeacher) {
+  Rng rng(29);
+  auto student = federated::mlp_factory(16, 6, 4)(rng);
+  DistillConfig dc;
+  dc.epochs = 25;
+  const double distilled_acc =
+      distill(*model, *student, train_set, test_set, dc);
+  const double teacher_acc = federated::evaluate_accuracy(*model, test_set);
+  // A 6-hidden-unit student should recover most of the 32-unit teacher's
+  // accuracy from its soft targets (§III-B model distillation).
+  EXPECT_GT(distilled_acc, teacher_acc - 0.12);
+  EXPECT_GT(distilled_acc, 0.7);
+}
+
+TEST_F(CompressFixture, DistillationAlphaBlendsObjectives) {
+  // Pure-soft (alpha=1) training must still produce a working student even
+  // with no hard labels — the teacher's distribution carries the task.
+  Rng rng(31);
+  auto student = federated::mlp_factory(16, 8, 4)(rng);
+  DistillConfig dc;
+  dc.alpha = 1.0;
+  dc.epochs = 25;
+  const double acc = distill(*model, *student, train_set, test_set, dc);
+  EXPECT_GT(acc, 0.6);
+}
+
+}  // namespace
+}  // namespace mdl::compress

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "federated/fedavg.hpp"
+#include "federated/selective_sgd.hpp"
+
+namespace mdl::federated {
+namespace {
+
+struct FedFixture : ::testing::Test {
+  FedFixture() {
+    Rng rng(1);
+    data::SyntheticConfig c;
+    c.num_samples = 600;
+    c.num_features = 12;
+    c.num_classes = 4;
+    c.class_sep = 2.5;
+    const auto ds = data::make_classification(c, rng);
+    const auto split = data::train_test_split(ds, 0.25, rng);
+    test_set = split.test;
+    shards = data::partition_dirichlet(split.train, 6, 0.5, rng);
+    factory = mlp_factory(12, 16, 4);
+  }
+  data::TabularDataset test_set;
+  std::vector<data::TabularDataset> shards;
+  ModelFactory factory;
+};
+
+TEST_F(FedFixture, FedAvgLearns) {
+  FedAvgConfig cfg;
+  cfg.rounds = 15;
+  cfg.clients_per_round = 6;
+  cfg.local_epochs = 3;
+  FedAvgTrainer trainer(factory, shards, cfg);
+  const auto history = trainer.run(test_set);
+  ASSERT_FALSE(history.empty());
+  EXPECT_GT(history.back().test_accuracy, 0.8);
+  // Accuracy improves over training.
+  EXPECT_GT(history.back().test_accuracy, history.front().test_accuracy);
+}
+
+TEST_F(FedFixture, FedSgdLearnsSlower) {
+  FedAvgConfig avg_cfg;
+  avg_cfg.rounds = 10;
+  avg_cfg.clients_per_round = 6;
+  avg_cfg.local_epochs = 5;
+  FedAvgConfig sgd_cfg = avg_cfg;
+  sgd_cfg.fedsgd = true;
+  sgd_cfg.server_lr = 0.1;
+
+  FedAvgTrainer avg(factory, shards, avg_cfg);
+  FedAvgTrainer sgd(factory, shards, sgd_cfg);
+  const auto ha = avg.run(test_set);
+  const auto hs = sgd.run(test_set);
+  // After equal rounds (equal communication), FedAvg should be ahead.
+  EXPECT_GT(ha.back().test_accuracy, hs.back().test_accuracy);
+}
+
+TEST_F(FedFixture, LedgerCountsExactBytes) {
+  FedAvgConfig cfg;
+  cfg.rounds = 2;
+  cfg.clients_per_round = 3;
+  cfg.local_epochs = 1;
+  FedAvgTrainer trainer(factory, shards, cfg);
+  trainer.run(test_set);
+  const std::uint64_t model_bytes =
+      static_cast<std::uint64_t>(trainer.model_size()) * 4;
+  // 2 rounds x 3 clients x (down + up).
+  EXPECT_EQ(trainer.ledger().bytes_down, 2 * 3 * model_bytes);
+  EXPECT_EQ(trainer.ledger().bytes_up, 2 * 3 * model_bytes);
+}
+
+TEST_F(FedFixture, TargetAccuracyStopsEarly) {
+  FedAvgConfig cfg;
+  cfg.rounds = 50;
+  cfg.clients_per_round = 6;
+  cfg.local_epochs = 5;
+  cfg.target_accuracy = 0.5;
+  FedAvgTrainer trainer(factory, shards, cfg);
+  const auto history = trainer.run(test_set);
+  EXPECT_LT(history.size(), 50U);
+  EXPECT_GE(history.back().test_accuracy, 0.5);
+}
+
+TEST_F(FedFixture, InvalidConfigThrows) {
+  FedAvgConfig cfg;
+  cfg.clients_per_round = 100;  // more than shards
+  EXPECT_THROW(FedAvgTrainer(factory, shards, cfg), Error);
+  EXPECT_THROW(FedAvgTrainer(factory, {}, FedAvgConfig{}), Error);
+}
+
+TEST_F(FedFixture, SelectiveSgdLearnsWithPartialUpload) {
+  SelectiveSGDConfig cfg;
+  cfg.rounds = 12;
+  cfg.upload_fraction = 0.1;
+  SelectiveSGDTrainer trainer(factory, shards, cfg);
+  const auto history = trainer.run(test_set);
+  EXPECT_GT(history.back().test_accuracy, 0.7);
+}
+
+TEST_F(FedFixture, SelectiveUploadFractionControlsBytes) {
+  SelectiveSGDConfig small;
+  small.rounds = 3;
+  small.upload_fraction = 0.05;
+  small.download_fraction = 0.05;
+  SelectiveSGDConfig large = small;
+  large.upload_fraction = 0.5;
+  large.download_fraction = 0.5;
+
+  SelectiveSGDTrainer a(factory, shards, small);
+  SelectiveSGDTrainer b(factory, shards, large);
+  a.run(test_set);
+  b.run(test_set);
+  EXPECT_LT(a.ledger().total(), b.ledger().total());
+  // ~10x fewer coordinates -> ~10x fewer bytes.
+  EXPECT_NEAR(static_cast<double>(b.ledger().total()) /
+                  static_cast<double>(a.ledger().total()),
+              10.0, 1.5);
+}
+
+TEST_F(FedFixture, SelectiveParticipantsBenefitFromSharing) {
+  // A participant's local replica should beat a model trained only on its
+  // own shard (the core claim of distributed selective SGD).
+  SelectiveSGDConfig cfg;
+  cfg.rounds = 12;
+  cfg.upload_fraction = 0.2;
+  SelectiveSGDTrainer trainer(factory, shards, cfg);
+  trainer.run(test_set);
+  const double shared_acc = trainer.participant_accuracy(0, test_set);
+
+  Rng rng(5);
+  auto standalone = factory(rng);
+  Rng train_rng(6);
+  local_sgd(*standalone, shards[0], 12, 16, 0.1, train_rng);
+  const double solo_acc = evaluate_accuracy(*standalone, test_set);
+  EXPECT_GT(shared_acc, solo_acc);
+}
+
+TEST_F(FedFixture, SelectiveInvalidFractionsThrow) {
+  SelectiveSGDConfig cfg;
+  cfg.upload_fraction = 0.0;
+  EXPECT_THROW(SelectiveSGDTrainer(factory, shards, cfg), Error);
+  cfg.upload_fraction = 0.5;
+  cfg.download_fraction = 1.5;
+  EXPECT_THROW(SelectiveSGDTrainer(factory, shards, cfg), Error);
+}
+
+TEST(FederatedCommon, MlpFactoryShapes) {
+  auto factory = mlp_factory(5, 7, 3);
+  Rng rng(2);
+  auto model = factory(rng);
+  const Tensor y = model->forward(Tensor({2, 5}));
+  EXPECT_EQ(y.shape(1), 3);
+  EXPECT_EQ(model->param_count(), 5 * 7 + 7 + 7 * 3 + 3);
+  EXPECT_THROW(mlp_factory(0, 7, 3), Error);
+}
+
+TEST(FederatedCommon, FullBatchGradientPopulatesGrads) {
+  Rng rng(3);
+  auto model = mlp_factory(4, 6, 2)(rng);
+  data::TabularDataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor::randn({10, 4}, rng);
+  ds.labels.assign(10, 0);
+  for (std::size_t i = 5; i < 10; ++i) ds.labels[i] = 1;
+  const double loss = full_batch_gradient(*model, ds);
+  EXPECT_GT(loss, 0.0);
+  double grad_norm = 0.0;
+  for (nn::Parameter* p : model->parameters())
+    grad_norm += p->grad.dot(p->grad);
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(FederatedCommon, CommLedgerArithmetic) {
+  CommLedger ledger;
+  ledger.dense_up(100);
+  ledger.dense_down(50);
+  ledger.sparse_up(10);
+  EXPECT_EQ(ledger.bytes_up, 100 * 4 + 10 * 8);
+  EXPECT_EQ(ledger.bytes_down, 200U);
+  EXPECT_EQ(ledger.total(), ledger.bytes_up + ledger.bytes_down);
+}
+
+}  // namespace
+}  // namespace mdl::federated

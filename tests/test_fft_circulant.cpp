@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/circulant.hpp"
+#include "core/fft.hpp"
+#include "grad_check.hpp"
+#include "nn/loss.hpp"
+
+namespace mdl {
+namespace {
+
+TEST(Fft, RoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> a(16);
+  for (auto& v : a) v = {rng.normal(), rng.normal()};
+  auto b = a;
+  fft(b, false);
+  fft(b, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, MatchesDftDefinition) {
+  Rng rng(2);
+  const std::size_t n = 8;
+  std::vector<std::complex<double>> a(n);
+  for (auto& v : a) v = {rng.normal(), 0.0};
+  auto f = a;
+  fft(f, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> expected{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      expected += a[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(f[k].real(), expected.real(), 1e-9);
+    EXPECT_NEAR(f[k].imag(), expected.imag(), 1e-9);
+  }
+}
+
+TEST(Fft, DeltaTransformsToOnes) {
+  std::vector<std::complex<double>> a(8, {0.0, 0.0});
+  a[0] = {1.0, 0.0};
+  fft(a, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> a(6);
+  EXPECT_THROW(fft(a, false), Error);
+}
+
+TEST(Fft, CircularConvolveMatchesDirect) {
+  Rng rng(3);
+  const std::size_t n = 8;
+  std::vector<float> a(n), b(n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto out = circular_convolve(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      expected += a[(i - j + n) % n] * b[j];
+    EXPECT_NEAR(out[i], expected, 1e-4);
+  }
+}
+
+TEST(Fft, CircularCorrelateMatchesDirect) {
+  Rng rng(4);
+  const std::size_t n = 8;
+  std::vector<float> a(n), b(n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  const auto out = circular_correlate(a, b);
+  for (std::size_t k = 0; k < n; ++k) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      expected += a[i] * b[(i - k + n) % n];
+    EXPECT_NEAR(out[k], expected, 1e-4);
+  }
+}
+
+TEST(Fft, IsPowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+}  // namespace
+}  // namespace mdl
+
+namespace mdl::compress {
+namespace {
+
+TEST(Circulant, ForwardMatchesDenseEquivalent) {
+  Rng rng(5);
+  CirculantLinear layer(8, 16, 4, rng);
+  const Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor y = layer.forward(x);
+  // Reference: materialize the dense weight and apply it.
+  const Tensor w = layer.to_dense_weight();
+  Tensor expected = matmul_nt(x, w);
+  add_row_broadcast(expected, layer.bias().value);
+  EXPECT_LT(max_abs_diff(y, expected), 1e-3F);
+}
+
+TEST(Circulant, CompressionRatioIsBlockSize) {
+  Rng rng(6);
+  CirculantLinear layer(16, 32, 8, rng);
+  EXPECT_NEAR(layer.compression_ratio(), 8.0, 1e-9);
+  // kernels: (32/8)*(16/8) blocks of 8 = 64 params vs 512 dense.
+  EXPECT_EQ(layer.kernels().value.size(), 64);
+}
+
+TEST(Circulant, RejectsInvalidGeometry) {
+  Rng rng(7);
+  EXPECT_THROW(CirculantLinear(9, 16, 4, rng), Error);   // 9 % 4 != 0
+  EXPECT_THROW(CirculantLinear(8, 16, 3, rng), Error);   // not a power of 2
+  EXPECT_THROW(CirculantLinear(8, 10, 4, rng), Error);   // 10 % 4 != 0
+}
+
+TEST(Circulant, GradientCheck) {
+  Rng rng(8);
+  CirculantLinear layer(4, 4, 4, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const std::vector<std::int64_t> labels{0, 2, 1};
+  nn::SoftmaxCrossEntropy loss;
+  auto loss_fn = [&] { return loss.forward(layer.forward(x), labels); };
+  for (nn::Parameter* p : layer.parameters()) {
+    test::check_gradient(p->value, loss_fn, [&] {
+      loss_fn();
+      layer.zero_grad();
+      layer.backward(loss.backward());
+      return p->grad;
+    });
+  }
+}
+
+TEST(Circulant, InputGradientCheck) {
+  Rng rng(9);
+  CirculantLinear layer(8, 8, 4, rng);
+  Tensor x = Tensor::randn({2, 8}, rng);
+  const std::vector<std::int64_t> labels{1, 5};
+  nn::SoftmaxCrossEntropy loss;
+  auto loss_fn = [&] { return loss.forward(layer.forward(x), labels); };
+  test::check_gradient(x, loss_fn, [&] {
+    loss_fn();
+    layer.zero_grad();
+    return layer.backward(loss.backward());
+  });
+}
+
+TEST(Circulant, ProjectionIsExactForCirculantWeights) {
+  // Projecting a weight that is already block-circulant must recover it.
+  Rng rng(10);
+  CirculantLinear source(8, 8, 4, rng);
+  const Tensor dense = source.to_dense_weight();
+  const Tensor kernels = project_to_circulant(dense, 4);
+  EXPECT_LT(max_abs_diff(kernels, source.kernels().value), 1e-5F);
+}
+
+TEST(Circulant, ProjectionMinimizesFrobenius) {
+  // For a general weight, the projection (diagonal means) must beat a
+  // perturbed candidate in reconstruction error.
+  Rng rng(11);
+  const Tensor w = Tensor::randn({4, 4}, rng);
+  const Tensor kernels = project_to_circulant(w, 4);
+  CirculantLinear probe(4, 4, 4, rng);
+  probe.kernels().value = kernels;
+  const double best = max_abs_diff(probe.to_dense_weight(), w);
+  probe.kernels().value.add_(0.1F);
+  const double perturbed = max_abs_diff(probe.to_dense_weight(), w);
+  EXPECT_LT(best, perturbed);
+}
+
+TEST(Circulant, FromLinearPreservesBias) {
+  Rng rng(12);
+  nn::Linear lin(8, 8, rng);
+  lin.bias().value.fill(0.7F);
+  auto circ = circulant_from_linear(lin, 4, rng);
+  EXPECT_EQ(circ->bias().value.at(3), 0.7F);
+  // A circulant-projected layer approximates the original output.
+  const Tensor x = Tensor::randn({2, 8}, rng);
+  const Tensor y_lin = lin.forward(x);
+  const Tensor y_circ = circ->forward(x);
+  EXPECT_TRUE(y_lin.same_shape(y_circ));
+}
+
+TEST(Circulant, FlopsBelowDenseForLargeBlocks) {
+  // The O(b log b) vs O(b^2) saving kicks in once blocks are large enough
+  // to amortize the FFT constants (b >= 64 with our cost model).
+  Rng rng(13);
+  CirculantLinear circ(256, 256, 64, rng);
+  nn::Linear dense(256, 256, rng);
+  EXPECT_LT(circ.flops_per_example(), dense.flops_per_example());
+  // Small blocks save parameters but not FLOPs — the honest trade-off.
+  CirculantLinear small(64, 64, 8, rng);
+  nn::Linear dense_small(64, 64, rng);
+  EXPECT_GT(small.compression_ratio(), 1.0);
+}
+
+TEST(Circulant, TrainsOnToyProblem) {
+  // The layer must be trainable end-to-end with its FFT gradients.
+  Rng rng(14);
+  CirculantLinear layer(8, 8, 4, rng);
+  nn::SoftmaxCrossEntropy loss;
+  Tensor x = Tensor::randn({32, 8}, rng);
+  std::vector<std::int64_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    labels[i] = x[static_cast<std::int64_t>(i) * 8] > 0 ? 1 : 0;
+  }
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    const double l = loss.forward(layer.forward(x), labels);
+    if (step == 0) first = l;
+    last = l;
+    layer.zero_grad();
+    layer.backward(loss.backward());
+    for (nn::Parameter* p : layer.parameters())
+      p->value.add_scaled_(p->grad, -0.5F);
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+}  // namespace
+}  // namespace mdl::compress

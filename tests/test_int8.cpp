@@ -1,0 +1,98 @@
+#include "compress/int8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "federated/common.hpp"
+#include "nn/activations.hpp"
+#include "nn/gru.hpp"
+
+namespace mdl::compress {
+namespace {
+
+TEST(Int8Linear, WeightRoundTripWithinHalfStep) {
+  Rng rng(1);
+  nn::Linear lin(8, 6, rng);
+  Int8Linear q(lin);
+  const Tensor deq = q.dequantized_weight();
+  const Tensor& w = lin.weight().value;
+  for (std::int64_t r = 0; r < 6; ++r) {
+    float max_abs = 0.0F;
+    for (std::int64_t c = 0; c < 8; ++c)
+      max_abs = std::max(max_abs, std::abs(w[r * 8 + c]));
+    const float step = max_abs / 127.0F;
+    for (std::int64_t c = 0; c < 8; ++c)
+      EXPECT_NEAR(deq[r * 8 + c], w[r * 8 + c], step / 2.0F + 1e-7F);
+  }
+}
+
+TEST(Int8Linear, ForwardApproximatesFloat) {
+  Rng rng(2);
+  nn::Linear lin(16, 8, rng);
+  Int8Linear q(lin);
+  const Tensor x = Tensor::randn({5, 16}, rng);
+  const Tensor yf = lin.forward(x);
+  const Tensor yq = q.forward(x);
+  // Combined weight+activation quantization error stays small relative to
+  // the activation magnitude.
+  const double scale = std::max<double>(std::abs(yf.max()), 1.0);
+  EXPECT_LT(max_abs_diff(yf, yq), 0.05F * scale);
+}
+
+TEST(Int8Linear, StorageIsRoughlyQuarter) {
+  Rng rng(3);
+  nn::Linear lin(64, 64, rng);
+  Int8Linear q(lin);
+  const std::uint64_t dense = 64 * 64 * 4 + 64 * 4;
+  EXPECT_LT(q.storage_bytes(), dense / 3);
+  EXPECT_EQ(q.storage_bytes(), 64U * 64U + 64U * 4U + 64U * 4U);
+}
+
+TEST(Int8Linear, BackwardThrows) {
+  Rng rng(4);
+  nn::Linear lin(4, 4, rng);
+  Int8Linear q(lin);
+  q.forward(Tensor({1, 4}));
+  EXPECT_THROW(q.backward(Tensor({1, 4})), Error);
+}
+
+TEST(Int8Linear, ZeroInputGivesBias) {
+  Rng rng(5);
+  nn::Linear lin(4, 3, rng);
+  lin.bias().value = Tensor({3}, {1.0F, -2.0F, 0.5F});
+  Int8Linear q(lin);
+  const Tensor y = q.forward(Tensor({2, 4}));
+  EXPECT_NEAR(y.at(0, 0), 1.0F, 1e-6);
+  EXPECT_NEAR(y.at(1, 1), -2.0F, 1e-6);
+}
+
+TEST(Int8Quantize, MlpAccuracyPreserved) {
+  Rng rng(6);
+  data::SyntheticConfig sc;
+  sc.num_samples = 400;
+  sc.num_features = 12;
+  sc.num_classes = 4;
+  sc.class_sep = 3.0;
+  const auto ds = data::make_classification(sc, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+
+  auto model = federated::mlp_factory(12, 24, 4)(rng);
+  Rng t_rng(7);
+  federated::local_sgd(*model, split.train, 15, 16, 0.1, t_rng);
+  const double float_acc = federated::evaluate_accuracy(*model, split.test);
+  ASSERT_GT(float_acc, 0.8);
+
+  auto deployed = int8_quantize_mlp(*model);
+  const double int8_acc = federated::evaluate_accuracy(*deployed, split.test);
+  EXPECT_GT(int8_acc, float_acc - 0.03);
+}
+
+TEST(Int8Quantize, RejectsUnknownLayers) {
+  Rng rng(8);
+  nn::Sequential model;
+  model.emplace<nn::GRU>(2, 3, rng);
+  EXPECT_THROW(int8_quantize_mlp(model), Error);
+}
+
+}  // namespace
+}  // namespace mdl::compress

@@ -1,0 +1,191 @@
+// Cross-module integration tests: the end-to-end flows a user of the
+// library actually runs, spanning several subsystems at once.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/multiview_model.hpp"
+#include "compress/deep_compression.hpp"
+#include "compress/prune.hpp"
+#include "data/keystroke.hpp"
+#include "data/synthetic.hpp"
+#include "federated/fedavg.hpp"
+#include "mobile/cost_model.hpp"
+#include "nn/param_utils.hpp"
+#include "split/split_inference.hpp"
+
+namespace mdl {
+namespace {
+
+TEST(Integration, TrainCompressShipRestore) {
+  // Train -> prune -> compress -> serialize to an actual file -> read back
+  // -> restore -> accuracy preserved. This is the deployment path of
+  // §III-B end to end, including real file I/O.
+  Rng rng(1);
+  data::SyntheticConfig sc;
+  sc.num_samples = 400;
+  sc.num_features = 12;
+  sc.num_classes = 4;
+  sc.class_sep = 3.0;
+  const auto ds = data::make_classification(sc, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+
+  auto factory = federated::mlp_factory(12, 24, 4);
+  Rng m_rng(2);
+  auto model = factory(m_rng);
+  Rng t_rng(3);
+  federated::local_sgd(*model, split.train, 15, 16, 0.1, t_rng);
+  const double trained_acc = federated::evaluate_accuracy(*model, split.test);
+  ASSERT_GT(trained_acc, 0.8);
+
+  compress::prune_model(*model, 0.6);
+  const compress::CompressedModel artifact =
+      compress::compress_model(*model, {});
+
+  const std::string path = "integration_artifact.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    BinaryWriter w(out);
+    compress::write_compressed(w, artifact);
+    EXPECT_GT(w.bytes_written(), 0U);
+    EXPECT_LT(w.bytes_written(), compress::model_dense_bytes(*model));
+  }
+  compress::CompressedModel loaded = [&] {
+    std::ifstream in(path, std::ios::binary);
+    BinaryReader r(in);
+    return compress::read_compressed(r);
+  }();
+  std::remove(path.c_str());
+
+  Rng r_rng(4);
+  auto restored = factory(r_rng);
+  loaded.restore_into(*restored);
+  const double restored_acc =
+      federated::evaluate_accuracy(*restored, split.test);
+  EXPECT_GT(restored_acc, trained_acc - 0.1);
+}
+
+TEST(Integration, FederatedModelSurvivesCompression) {
+  // A federally trained global model goes through the same compression
+  // path phones would use before on-device deployment.
+  Rng rng(5);
+  data::SyntheticConfig sc;
+  sc.num_samples = 500;
+  sc.num_features = 10;
+  sc.num_classes = 4;
+  sc.class_sep = 3.0;
+  const auto ds = data::make_classification(sc, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  const auto shards = data::partition_dirichlet(split.train, 5, 1.0, rng);
+
+  federated::FedAvgConfig cfg;
+  cfg.rounds = 10;
+  cfg.clients_per_round = 5;
+  cfg.local_epochs = 3;
+  auto factory = federated::mlp_factory(10, 16, 4);
+  federated::FedAvgTrainer trainer(factory, shards, cfg);
+  trainer.run(split.test);
+  const double fed_acc =
+      federated::evaluate_accuracy(trainer.global_model(), split.test);
+  ASSERT_GT(fed_acc, 0.8);
+
+  compress::prune_model(trainer.global_model(), 0.5);
+  const auto artifact = compress::compress_model(trainer.global_model(), {});
+  Rng r_rng(6);
+  auto deployed = factory(r_rng);
+  artifact.restore_into(*deployed);
+  EXPECT_GT(federated::evaluate_accuracy(*deployed, split.test),
+            fed_acc - 0.1);
+}
+
+TEST(Integration, MultiViewModelParameterRoundTrip) {
+  // Flatten a trained DeepMood model's parameters into another instance:
+  // predictions must match exactly (the checkpoint path for mdl::apps).
+  data::KeystrokeConfig kc;
+  kc.alnum_len = 10;
+  kc.special_len = 5;
+  kc.accel_len = 12;
+  data::KeystrokeSimulator sim(kc);
+  Rng rng(7);
+  const auto ds = sim.mood_dataset(4, 15, rng);
+
+  Rng m1(8), m2(9);  // different inits
+  apps::MultiViewConfig cfg = apps::deepmood_config(
+      ds.view_dims, ds.seq_lens, fusion::FusionKind::kFactorizationMachine);
+  apps::MultiViewModel a(cfg, m1);
+  apps::MultiViewModel b(cfg, m2);
+
+  apps::MultiViewTrainConfig tc;
+  tc.epochs = 2;
+  apps::MultiViewTrainer trainer(a, tc);
+  trainer.train(ds);
+
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  nn::unflatten_into_values(nn::flatten_values(pa), pb);
+
+  apps::MultiViewTrainer ta(a, tc), tb(b, tc);
+  EXPECT_EQ(ta.predict(ds), tb.predict(ds));
+}
+
+TEST(Integration, SplitInferenceCostModelConsistency) {
+  // The bytes the planner charges for the split deployment must equal the
+  // representation the split system actually transmits.
+  Rng rng(10);
+  auto whole = std::make_unique<nn::Sequential>();
+  whole->emplace<nn::Linear>(16, 6, rng);
+  whole->emplace<nn::Tanh>();
+  whole->emplace<nn::Linear>(6, 3, rng);
+  split::SplitInference sys =
+      split::SplitInference::from_whole(std::move(whole), 2);
+
+  const std::int64_t rep_dim = sys.representation_dim(16);
+  EXPECT_EQ(rep_dim, 6);
+  const std::uint64_t rep_bytes = static_cast<std::uint64_t>(rep_dim) * 4;
+
+  mobile::InferencePlanner planner(mobile::DeviceProfile::mobile_soc(),
+                                   mobile::DeviceProfile::cloud_server(),
+                                   mobile::NetworkModel::lte());
+  const auto est = planner.split(sys.local().flops_per_example(), rep_bytes,
+                                 sys.cloud().flops_per_example(), 3 * 4);
+  EXPECT_EQ(est.bytes_up, rep_bytes);
+  EXPECT_GT(est.latency_s, 0.0);
+  // Raw upload is larger than the representation for this topology.
+  EXPECT_LT(rep_bytes, 16U * 4U);
+}
+
+TEST(Integration, KeystrokeDriftDirectionIsMoodSignal) {
+  // Property behind the DeepMood benches: the within-session gap trend is
+  // positive (slowing) for disturbed sessions and negative for euthymic
+  // ones, while the session-mean gap stays overlapping.
+  data::KeystrokeSimulator sim;
+  Rng rng(11);
+  const data::UserProfile user = sim.sample_user(rng);
+  auto trend_slope = [&](int mood) {
+    double slope_sum = 0.0;
+    const int sessions = 40;
+    for (int s = 0; s < sessions; ++s) {
+      const auto ex = sim.generate_session(user, mood, rng);
+      const Tensor& alnum = ex.views[0];
+      // Least-squares slope of gap over step index (non-padded prefix).
+      double sx = 0, sy = 0, sxx = 0, sxy = 0, n = 0;
+      for (std::int64_t t = 0; t < alnum.shape(0); ++t) {
+        const double gap = alnum.at(t, 1);
+        if (gap == 0.0) continue;
+        sx += static_cast<double>(t);
+        sy += gap;
+        sxx += static_cast<double>(t * t);
+        sxy += static_cast<double>(t) * gap;
+        n += 1.0;
+      }
+      slope_sum += (n * sxy - sx * sy) / std::max(n * sxx - sx * sx, 1e-9);
+    }
+    return slope_sum / sessions;
+  };
+  EXPECT_GT(trend_slope(1), 0.0);
+  EXPECT_LT(trend_slope(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mdl

@@ -1,0 +1,202 @@
+#include "data/keystroke.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdl::data {
+namespace {
+
+TEST(Keystroke, ViewSchemaMatchesPaper) {
+  KeystrokeSimulator sim;
+  EXPECT_EQ(sim.view_dims(), (std::vector<std::int64_t>{4, 6, 3}));
+  const auto lens = sim.seq_lens();
+  EXPECT_EQ(lens.size(), 3U);
+}
+
+TEST(Keystroke, SessionShapesConsistent) {
+  KeystrokeSimulator sim;
+  Rng rng(1);
+  const UserProfile u = sim.sample_user(rng);
+  const MultiViewExample ex = sim.generate_session(u, 0, rng);
+  ASSERT_EQ(ex.views.size(), 3U);
+  EXPECT_EQ(ex.views[0].shape(0), sim.config().alnum_len);
+  EXPECT_EQ(ex.views[0].shape(1), 4);
+  EXPECT_EQ(ex.views[1].shape(1), kNumSpecialKeys);
+  EXPECT_EQ(ex.views[2].shape(0), sim.config().accel_len);
+  EXPECT_EQ(ex.views[2].shape(1), 3);
+  EXPECT_THROW(sim.generate_session(u, 2, rng), Error);
+}
+
+TEST(Keystroke, SpecialViewIsOneHotOrZero) {
+  KeystrokeSimulator sim;
+  Rng rng(2);
+  const UserProfile u = sim.sample_user(rng);
+  const MultiViewExample ex = sim.generate_session(u, 1, rng);
+  const Tensor& sp = ex.views[1];
+  for (std::int64_t t = 0; t < sp.shape(0); ++t) {
+    float row_sum = 0.0F;
+    for (std::int64_t k = 0; k < kNumSpecialKeys; ++k) {
+      const float v = sp.at(t, k);
+      EXPECT_TRUE(v == 0.0F || v == 1.0F);
+      row_sum += v;
+    }
+    EXPECT_LE(row_sum, 1.0F);
+  }
+}
+
+TEST(Keystroke, HoldAndGapArePositiveWherePresent) {
+  KeystrokeSimulator sim;
+  Rng rng(3);
+  const UserProfile u = sim.sample_user(rng);
+  const MultiViewExample ex = sim.generate_session(u, 0, rng);
+  const Tensor& al = ex.views[0];
+  bool any = false;
+  for (std::int64_t t = 0; t < al.shape(0); ++t) {
+    if (al.at(t, 0) == 0.0F && al.at(t, 1) == 0.0F) continue;  // padding
+    any = true;
+    EXPECT_GT(al.at(t, 0), 0.0F);
+    EXPECT_GT(al.at(t, 1), 0.0F);
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Keystroke, MoodSlowsTyping) {
+  // The mood modulation must lengthen average hold and gap times — the
+  // psychomotor-retardation signal DeepMood learns from.
+  KeystrokeConfig cfg;
+  cfg.mood_effect = 1.5;
+  KeystrokeSimulator sim(cfg);
+  Rng rng(4);
+  const UserProfile u = sim.sample_user(rng);
+  double hold0 = 0.0, hold1 = 0.0, n0 = 0.0, n1 = 0.0;
+  for (int s = 0; s < 60; ++s) {
+    for (const int mood : {0, 1}) {
+      const MultiViewExample ex = sim.generate_session(u, mood, rng);
+      const Tensor& al = ex.views[0];
+      for (std::int64_t t = 0; t < al.shape(0); ++t) {
+        if (al.at(t, 0) == 0.0F) continue;
+        (mood ? hold1 : hold0) += al.at(t, 0);
+        (mood ? n1 : n0) += 1.0;
+      }
+    }
+  }
+  EXPECT_GT(hold1 / n1, hold0 / n0);
+}
+
+TEST(Keystroke, UserIdentificationDatasetStructure) {
+  KeystrokeSimulator sim;
+  Rng rng(5);
+  const MultiViewDataset ds = sim.user_identification_dataset(5, 12, rng);
+  EXPECT_EQ(ds.size(), 60);
+  EXPECT_EQ(ds.num_classes, 5);
+  ds.check_consistent();
+  std::vector<int> per_user(5, 0);
+  for (const auto& ex : ds.examples) {
+    EXPECT_EQ(ex.label, ex.group);
+    ++per_user[static_cast<std::size_t>(ex.label)];
+  }
+  for (const int c : per_user) EXPECT_EQ(c, 12);
+}
+
+TEST(Keystroke, MoodDatasetStructure) {
+  KeystrokeSimulator sim;
+  Rng rng(6);
+  const std::vector<std::int64_t> sessions{10, 20, 5};
+  const MultiViewDataset ds = sim.mood_dataset(sessions, rng);
+  EXPECT_EQ(ds.size(), 35);
+  EXPECT_EQ(ds.num_classes, 2);
+  ds.check_consistent();
+  std::vector<int> per_group(3, 0);
+  for (const auto& ex : ds.examples) {
+    EXPECT_TRUE(ex.label == 0 || ex.label == 1);
+    ++per_group[static_cast<std::size_t>(ex.group)];
+  }
+  EXPECT_EQ(per_group[1], 20);
+}
+
+TEST(Keystroke, DeterministicGivenSeed) {
+  KeystrokeSimulator sim;
+  Rng r1(7), r2(7);
+  const MultiViewDataset a = sim.user_identification_dataset(3, 4, r1);
+  const MultiViewDataset b = sim.user_identification_dataset(3, 4, r2);
+  for (std::size_t i = 0; i < a.examples.size(); ++i)
+    for (std::size_t p = 0; p < 3; ++p)
+      EXPECT_TRUE(allclose(a.examples[i].views[p], b.examples[i].views[p],
+                           0.0F));
+}
+
+TEST(Keystroke, UsersAreDistinguishableInAggregate) {
+  // Mean hold time alone should differ measurably between two random users
+  // far more than within one user's sessions — the premise of DEEPSERVICE.
+  KeystrokeSimulator sim;
+  Rng rng(8);
+  const UserProfile u1 = sim.sample_user(rng);
+  UserProfile u2 = sim.sample_user(rng);
+  // Ensure profiles differ meaningfully (resample if unlucky).
+  while (std::abs(u2.hold_mean - u1.hold_mean) < 0.02)
+    u2 = sim.sample_user(rng);
+  auto mean_hold = [&](const UserProfile& u) {
+    double s = 0.0, n = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      const MultiViewExample ex = sim.generate_session(u, 0, rng);
+      const Tensor& al = ex.views[0];
+      for (std::int64_t t = 0; t < al.shape(0); ++t) {
+        if (al.at(t, 0) == 0.0F) continue;
+        s += al.at(t, 0);
+        n += 1.0;
+      }
+    }
+    return s / n;
+  };
+  const double m1 = mean_hold(u1);
+  const double m2 = mean_hold(u2);
+  EXPECT_GT(std::abs(m1 - m2), 0.01);
+  EXPECT_NEAR(m1, u1.hold_mean, 0.35 * u1.hold_mean);
+}
+
+TEST(SessionFeatures, ShapeAndNames) {
+  KeystrokeSimulator sim;
+  Rng rng(9);
+  const MultiViewDataset ds = sim.user_identification_dataset(3, 5, rng);
+  const TabularDataset feats = to_session_features(ds);
+  EXPECT_EQ(feats.size(), 15);
+  EXPECT_EQ(feats.dim(), 24);
+  EXPECT_EQ(feats.num_classes, 3);
+  EXPECT_EQ(session_feature_names().size(), 24U);
+  for (std::size_t i = 0; i < ds.examples.size(); ++i)
+    EXPECT_EQ(feats.labels[i], ds.examples[i].label);
+}
+
+TEST(SessionFeatures, ValuesAreFiniteAndSane) {
+  KeystrokeSimulator sim;
+  Rng rng(10);
+  const MultiViewDataset ds = sim.mood_dataset(4, 10, rng);
+  const TabularDataset feats = to_session_features(ds);
+  for (std::int64_t i = 0; i < feats.features.size(); ++i)
+    EXPECT_TRUE(std::isfinite(feats.features[i]));
+  // Correlations in [-1, 1].
+  for (std::int64_t i = 0; i < feats.size(); ++i)
+    for (std::int64_t j = 21; j < 24; ++j) {
+      EXPECT_GE(feats.features.at(i, j), -1.001F);
+      EXPECT_LE(feats.features.at(i, j), 1.001F);
+    }
+  // Special-key frequencies within [0, 1].
+  for (std::int64_t i = 0; i < feats.size(); ++i)
+    for (std::int64_t j = 9; j < 15; ++j) {
+      EXPECT_GE(feats.features.at(i, j), 0.0F);
+      EXPECT_LE(feats.features.at(i, j), 1.0F);
+    }
+}
+
+TEST(Keystroke, InvalidConfigThrows) {
+  KeystrokeConfig bad;
+  bad.alnum_len = 0;
+  EXPECT_THROW(KeystrokeSimulator{bad}, Error);
+  KeystrokeConfig neg;
+  neg.mood_effect = -1.0;
+  EXPECT_THROW(KeystrokeSimulator{neg}, Error);
+}
+
+}  // namespace
+}  // namespace mdl::data

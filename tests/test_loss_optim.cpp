@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.hpp"
+#include "nn/activations.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mdl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, MatchesManualValue) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 2}, {0.0F, 0.0F, 1.0F, -1.0F});
+  const std::vector<std::int64_t> labels{0, 1};
+  const double l = loss.forward(logits, labels);
+  const double l0 = -std::log(0.5);
+  const double l1 = -std::log(std::exp(-1.0) / (std::exp(1.0) + std::exp(-1.0)));
+  EXPECT_NEAR(l, (l0 + l1) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehot) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  const Tensor logits = Tensor::randn({3, 4}, rng);
+  const std::vector<std::int64_t> labels{1, 3, 0};
+  loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 4; ++j) {
+      const float expected =
+          (p.at(i, j) - (labels[static_cast<std::size_t>(i)] == j ? 1.0F : 0.0F)) / 3.0F;
+      EXPECT_NEAR(g.at(i, j), expected, 1e-5);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(2);
+  const Tensor logits = Tensor::randn({4, 5}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 2, 3};
+  loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (std::int64_t j = 0; j < 5; ++j) row += g.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({1, 2});
+  const std::vector<std::int64_t> bad{5};
+  EXPECT_THROW(loss.forward(logits, bad), Error);
+  const std::vector<std::int64_t> neg{-1};
+  EXPECT_THROW(loss.forward(logits, neg), Error);
+  const std::vector<std::int64_t> wrong_count{0, 1};
+  EXPECT_THROW(loss.forward(logits, wrong_count), Error);
+}
+
+TEST(MeanSquaredError, ValueAndGradient) {
+  MeanSquaredError mse;
+  const Tensor pred({2}, {1.0F, 3.0F});
+  const Tensor target({2}, {0.0F, 1.0F});
+  EXPECT_NEAR(mse.forward(pred, target), (1.0 + 4.0) / 2.0, 1e-6);
+  const Tensor g = mse.backward();
+  EXPECT_NEAR(g.at(0), 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(1), 2.0 * 2.0 / 2.0, 1e-6);
+}
+
+TEST(DistillationLoss, AlphaZeroReducesToCrossEntropy) {
+  Rng rng(3);
+  const Tensor student = Tensor::randn({3, 4}, rng);
+  const Tensor teacher = Tensor::randn({3, 4}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 2};
+
+  DistillationLoss kd(4.0, 0.0);
+  SoftmaxCrossEntropy ce;
+  EXPECT_NEAR(kd.forward(student, teacher, labels),
+              ce.forward(student, labels), 1e-6);
+  EXPECT_TRUE(allclose(kd.backward(), ce.backward(), 1e-6F));
+}
+
+TEST(DistillationLoss, PerfectTeacherAgreementMinimizesSoftLoss) {
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({2, 3}, rng);
+  const std::vector<std::int64_t> labels{0, 1};
+  DistillationLoss kd(2.0, 1.0);  // pure soft loss
+  const double same = kd.forward(logits, logits, labels);
+  EXPECT_NEAR(same, 0.0, 1e-5);  // KL(p||p) = 0
+  const Tensor other = Tensor::randn({2, 3}, rng);
+  EXPECT_GT(kd.forward(logits, other, labels), same);
+}
+
+TEST(DistillationLoss, GradientCheck) {
+  Rng rng(5);
+  Tensor student = Tensor::randn({2, 3}, rng);
+  const Tensor teacher = Tensor::randn({2, 3}, rng);
+  const std::vector<std::int64_t> labels{2, 0};
+  DistillationLoss kd(3.0, 0.6);
+  auto loss_fn = [&] { return kd.forward(student, teacher, labels); };
+  test::check_gradient(student, loss_fn, [&] {
+    loss_fn();
+    return kd.backward();
+  });
+}
+
+TEST(DistillationLoss, RejectsInvalidConfig) {
+  EXPECT_THROW(DistillationLoss(0.0, 0.5), Error);
+  EXPECT_THROW(DistillationLoss(1.0, 1.5), Error);
+}
+
+// --- Optimizers -----------------------------------------------------------
+
+/// Minimizes f(w) = ||w - target||^2 and returns the final distance.
+template <typename Opt, typename... Args>
+double optimize_quadratic(double lr, int steps, Args&&... args) {
+  Parameter w("w", Tensor({4}, {5.0F, -3.0F, 2.0F, 8.0F}));
+  const Tensor target({4}, {1.0F, 1.0F, 1.0F, 1.0F});
+  Opt opt({&w}, lr, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j)
+      w.grad[j] = 2.0F * (w.value[j] - target[j]);
+    opt.step();
+  }
+  return (w.value - target).norm();
+}
+
+TEST(Optimizers, SgdConverges) {
+  EXPECT_LT(optimize_quadratic<SGD>(0.1, 100), 1e-3);
+}
+
+TEST(Optimizers, SgdMomentumConverges) {
+  EXPECT_LT(optimize_quadratic<SGD>(0.05, 250, 0.9), 1e-3);
+}
+
+TEST(Optimizers, AdagradConverges) {
+  EXPECT_LT(optimize_quadratic<Adagrad>(1.0, 300), 1e-2);
+}
+
+TEST(Optimizers, RmspropConverges) {
+  EXPECT_LT(optimize_quadratic<RMSprop>(0.05, 300), 1e-2);
+}
+
+TEST(Optimizers, AdamConverges) {
+  EXPECT_LT(optimize_quadratic<Adam>(0.3, 200), 1e-2);
+}
+
+TEST(Optimizers, StepClearsGradients) {
+  Parameter w("w", Tensor({2}, {1.0F, 2.0F}));
+  w.grad.fill(1.0F);
+  SGD opt({&w}, 0.1);
+  opt.step();
+  EXPECT_EQ(w.grad.sum(), 0.0);
+}
+
+TEST(Optimizers, WeightDecayShrinksWeights) {
+  Parameter w("w", Tensor({1}, {10.0F}));
+  SGD opt({&w}, 0.1, 0.0, 0.5);
+  // Zero loss gradient: only decay acts.
+  opt.step();
+  EXPECT_NEAR(w.value[0], 10.0F - 0.1F * 0.5F * 10.0F, 1e-5);
+}
+
+TEST(Optimizers, AdamFirstStepIsLrSized) {
+  // With bias correction, the first Adam step magnitude ~ lr regardless of
+  // gradient scale.
+  for (const float scale : {0.001F, 1.0F, 1000.0F}) {
+    Parameter w("w", Tensor({1}, {0.0F}));
+    Adam opt({&w}, 0.1);
+    w.grad[0] = scale;
+    opt.step();
+    EXPECT_NEAR(std::abs(w.value[0]), 0.1F, 0.01F) << "scale " << scale;
+  }
+}
+
+TEST(Optimizers, InvalidConfigThrows) {
+  Parameter w("w", Tensor({1}));
+  EXPECT_THROW(SGD({&w}, -0.1), Error);
+  EXPECT_THROW(SGD({&w}, 0.1, 1.5), Error);
+  EXPECT_THROW(Adam({&w}, 0.1, 1.0), Error);
+  EXPECT_THROW(SGD({}, 0.1), Error);
+}
+
+}  // namespace
+}  // namespace mdl::nn

@@ -1,0 +1,89 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mdl::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_NEAR(cm.accuracy(), 0.75, 1e-9);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 1: tp = 2, fp = 1, fn = 1.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  cm.add(0, 1);
+  cm.add(0, 0);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.recall(1), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, UnpredictedClassHasZeroMetrics) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.precision(1), 0.0);
+  EXPECT_EQ(cm.recall(1), 0.0);
+  EXPECT_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroF1IsUnweightedMean) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  // class 0: p = 3/4, r = 1 -> f1 = 6/7; class 1: f1 = 0.
+  EXPECT_NEAR(cm.macro_f1(), (6.0 / 7.0) / 2.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, PerfectPredictions) {
+  ConfusionMatrix cm(4);
+  for (std::int64_t c = 0; c < 4; ++c) cm.add(c, c);
+  EXPECT_EQ(cm.accuracy(), 1.0);
+  EXPECT_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), Error);
+  EXPECT_THROW(cm.add(0, -1), Error);
+  EXPECT_THROW(cm.count(3, 0), Error);
+  EXPECT_THROW(ConfusionMatrix(0), Error);
+}
+
+TEST(ConfusionMatrix, BatchMatchesIndividual) {
+  const std::vector<std::int64_t> y{0, 1, 1, 0};
+  const std::vector<std::int64_t> p{0, 1, 0, 0};
+  ConfusionMatrix a(2), b(2);
+  a.add_batch(y, p);
+  for (std::size_t i = 0; i < y.size(); ++i) b.add(y[i], p[i]);
+  EXPECT_EQ(a.accuracy(), b.accuracy());
+  EXPECT_EQ(a.macro_f1(), b.macro_f1());
+  const std::vector<std::int64_t> short_p{0};
+  EXPECT_THROW(a.add_batch(y, short_p), Error);
+}
+
+TEST(Metrics, FreeFunctions) {
+  const std::vector<std::int64_t> y{0, 1, 2, 2};
+  const std::vector<std::int64_t> p{0, 1, 2, 0};
+  EXPECT_NEAR(accuracy(y, p), 0.75, 1e-9);
+  EXPECT_GT(macro_f1(y, p, 3), 0.0);
+  EXPECT_LE(macro_f1(y, p, 3), 1.0);
+  const std::vector<std::int64_t> empty;
+  EXPECT_THROW(accuracy(empty, empty), Error);
+}
+
+}  // namespace
+}  // namespace mdl::nn

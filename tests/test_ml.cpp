@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/random_forest.hpp"
+
+namespace mdl::ml {
+namespace {
+
+data::TabularDataset easy_dataset(std::uint64_t seed, double sep = 3.5,
+                                  std::int64_t n = 300,
+                                  std::int64_t classes = 3) {
+  Rng rng(seed);
+  data::SyntheticConfig c;
+  c.num_samples = n;
+  c.num_features = 8;
+  c.num_classes = classes;
+  c.class_sep = sep;
+  return data::make_classification(c, rng);
+}
+
+TEST(LogisticRegression, LearnsSeparableData) {
+  const auto ds = easy_dataset(1);
+  Rng rng(2);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  LogisticRegression lr;
+  lr.fit(split.train);
+  EXPECT_GT(evaluate_accuracy(lr, split.test), 0.9);
+  EXPECT_GT(evaluate_macro_f1(lr, split.test), 0.9);
+}
+
+TEST(LogisticRegression, DecisionFunctionShape) {
+  const auto ds = easy_dataset(3);
+  LogisticRegression lr;
+  lr.fit(ds);
+  const Tensor scores = lr.decision_function(ds.features);
+  EXPECT_EQ(scores.shape(0), ds.size());
+  EXPECT_EQ(scores.shape(1), ds.num_classes);
+}
+
+TEST(LogisticRegression, PredictBeforeFitThrows) {
+  LogisticRegression lr;
+  EXPECT_THROW(lr.predict(Tensor({1, 3})), Error);
+}
+
+TEST(LinearSVM, LearnsSeparableData) {
+  const auto ds = easy_dataset(4);
+  Rng rng(5);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  LinearSVM svm;
+  svm.fit(split.train);
+  EXPECT_GT(evaluate_accuracy(svm, split.test), 0.9);
+}
+
+TEST(LinearSVM, BinaryCase) {
+  const auto ds = easy_dataset(6, 3.0, 200, 2);
+  LinearSVM svm;
+  svm.fit(ds);
+  EXPECT_GT(evaluate_accuracy(svm, ds), 0.93);
+}
+
+TEST(DecisionTree, FitsTrainingDataWhenDeep) {
+  const auto ds = easy_dataset(7, 1.5, 150);
+  TreeConfig cfg;
+  cfg.max_depth = 30;
+  DecisionTree tree(cfg);
+  tree.fit(ds);
+  EXPECT_GT(evaluate_accuracy(tree, ds), 0.99);  // interpolates
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  const auto ds = easy_dataset(8, 1.0, 200);
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  tree.fit(ds);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, SingleClassGivesLeaf) {
+  data::TabularDataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({5, 2});
+  ds.labels = {1, 1, 1, 1, 1};
+  DecisionTree tree;
+  tree.fit(ds);
+  EXPECT_EQ(tree.node_count(), 1U);
+  EXPECT_EQ(tree.predict(ds.features)[0], 1);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const auto ds = easy_dataset(9, 2.0, 100);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 20;
+  DecisionTree tree(cfg);
+  tree.fit(ds);
+  // With >= 20 samples per leaf on 100 samples, at most 5 leaves ->
+  // node count <= 9.
+  EXPECT_LE(tree.node_count(), 9U);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  const auto ds = easy_dataset(10, 2.0, 100);
+  DecisionTree tree;
+  tree.fit(ds);
+  const auto p = tree.predict_proba_one(
+      {ds.features.data(), static_cast<std::size_t>(ds.dim())});
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, GeneralizesOnSeparableData) {
+  const auto ds = easy_dataset(11);
+  Rng rng(12);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  DecisionTree tree;
+  tree.fit(split.train);
+  EXPECT_GT(evaluate_accuracy(tree, split.test), 0.8);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  Rng rng(13);
+  data::SyntheticConfig c;
+  c.num_samples = 400;
+  c.num_features = 12;
+  c.num_classes = 4;
+  c.class_sep = 2.0;
+  c.label_noise = 0.1;
+  const auto ds = data::make_classification(c, rng);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+
+  DecisionTree tree;
+  tree.fit(split.train);
+  ForestConfig fc;
+  fc.num_trees = 60;
+  RandomForest forest(fc);
+  forest.fit(split.train);
+  const double tree_acc = evaluate_accuracy(tree, split.test);
+  const double forest_acc = evaluate_accuracy(forest, split.test);
+  EXPECT_GE(forest_acc, tree_acc);
+  EXPECT_GT(forest_acc, 0.6);
+}
+
+TEST(RandomForest, DeterministicAcrossRuns) {
+  const auto ds = easy_dataset(14, 2.0, 120);
+  ForestConfig fc;
+  fc.num_trees = 10;
+  RandomForest a(fc), b(fc);
+  a.fit(ds);
+  b.fit(ds);
+  EXPECT_EQ(a.predict(ds.features), b.predict(ds.features));
+}
+
+TEST(RandomForest, ParallelMatchesSequential) {
+  const auto ds = easy_dataset(15, 2.0, 120);
+  ForestConfig fc;
+  fc.num_trees = 12;
+  RandomForest seq(fc), par(fc);
+  seq.fit(ds);
+  ThreadPool pool(3);
+  par.set_thread_pool(&pool);
+  par.fit(ds);
+  EXPECT_EQ(seq.predict(ds.features), par.predict(ds.features));
+}
+
+TEST(GBDT, FitsTrainingData) {
+  const auto ds = easy_dataset(16, 1.8, 200);
+  GBDTConfig cfg;
+  cfg.rounds = 40;
+  GradientBoostedTrees gbdt(cfg);
+  gbdt.fit(ds);
+  EXPECT_GT(evaluate_accuracy(gbdt, ds), 0.95);
+  EXPECT_EQ(gbdt.num_trees(),
+            static_cast<std::size_t>(cfg.rounds * ds.num_classes));
+}
+
+TEST(GBDT, GeneralizesAndUsesMargins) {
+  const auto ds = easy_dataset(17, 2.2, 400);
+  Rng rng(18);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  GradientBoostedTrees gbdt;
+  gbdt.fit(split.train);
+  EXPECT_GT(evaluate_accuracy(gbdt, split.test), 0.8);
+  const Tensor margins = gbdt.decision_function(split.test.features);
+  EXPECT_EQ(margins.shape(1), ds.num_classes);
+}
+
+TEST(GBDT, MoreRoundsHelpOnHardData) {
+  Rng rng(19);
+  data::SyntheticConfig c;
+  c.num_samples = 300;
+  c.num_features = 10;
+  c.num_classes = 3;
+  c.class_sep = 1.0;
+  const auto ds = data::make_classification(c, rng);
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  GBDTConfig few;
+  few.rounds = 2;
+  GBDTConfig many;
+  many.rounds = 50;
+  GradientBoostedTrees a(few), b(many);
+  a.fit(split.train);
+  b.fit(split.train);
+  EXPECT_GE(evaluate_accuracy(b, split.test),
+            evaluate_accuracy(a, split.test));
+}
+
+TEST(GBDT, InvalidConfigThrows) {
+  GBDTConfig bad;
+  bad.rounds = 0;
+  EXPECT_THROW(GradientBoostedTrees{bad}, Error);
+  GBDTConfig bad2;
+  bad2.subsample = 0.0;
+  EXPECT_THROW(GradientBoostedTrees{bad2}, Error);
+}
+
+TEST(Classifiers, PredictRejectsWrongWidth) {
+  const auto ds = easy_dataset(20, 2.0, 100);
+  DecisionTree tree;
+  tree.fit(ds);
+  EXPECT_THROW(tree.predict(Tensor({1, 3})), Error);
+  GradientBoostedTrees gbdt;
+  gbdt.fit(ds);
+  EXPECT_THROW(gbdt.predict(Tensor({1, 3})), Error);
+}
+
+// Table I ordering on the keystroke task is exercised end-to-end in
+// bench/table1_user_identification; here we spot-check the weakest and
+// strongest baselines rank correctly on a nonlinear task.
+TEST(Classifiers, EnsembleBeatsLinearOnNonlinearTask) {
+  // XOR-like data: linear models near chance, trees nearly perfect.
+  Rng rng(21);
+  data::TabularDataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({400, 2});
+  ds.labels.resize(400);
+  for (std::int64_t i = 0; i < 400; ++i) {
+    const double x = rng.normal();
+    const double y = rng.normal();
+    ds.features[i * 2 + 0] = static_cast<float>(x);
+    ds.features[i * 2 + 1] = static_cast<float>(y);
+    ds.labels[static_cast<std::size_t>(i)] = (x * y > 0) ? 1 : 0;
+  }
+  const auto split = data::train_test_split(ds, 0.3, rng);
+  LogisticRegression lr;
+  lr.fit(split.train);
+  GradientBoostedTrees gbdt;
+  gbdt.fit(split.train);
+  const double lr_acc = evaluate_accuracy(lr, split.test);
+  const double gbdt_acc = evaluate_accuracy(gbdt, split.test);
+  EXPECT_LT(lr_acc, 0.7);
+  EXPECT_GT(gbdt_acc, 0.85);
+}
+
+}  // namespace
+}  // namespace mdl::ml

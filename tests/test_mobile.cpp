@@ -1,0 +1,86 @@
+#include "mobile/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mdl::mobile {
+namespace {
+
+InferencePlanner planner(NetworkModel net = NetworkModel::wifi()) {
+  return {DeviceProfile::mobile_soc(), DeviceProfile::cloud_server(), net};
+}
+
+TEST(CostModel, OnDeviceArithmetic) {
+  const auto p = planner();
+  const CostEstimate c = p.on_device(2'000'000'000);  // 2 GFLOP
+  // 2 GFLOP at 20 GFLOPS = 0.1 s; at 2.5 W = 0.25 J.
+  EXPECT_NEAR(c.latency_s, 0.1, 1e-9);
+  EXPECT_NEAR(c.device_energy_j, 0.25, 1e-9);
+  EXPECT_EQ(c.bytes_up, 0U);
+}
+
+TEST(CostModel, CloudArithmetic) {
+  NetworkModel net{10.0, 10.0, 0.02};
+  const auto p = planner(net);
+  const CostEstimate c = p.on_cloud(1'250'000, 4'000'000'000, 125'000);
+  // Upload 1.25 MB at 10 Mbps = 1 s; download 0.1 s; server 1 ms; rtt 20 ms.
+  EXPECT_NEAR(c.latency_s, 1.0 + 0.1 + 0.001 + 0.02, 1e-6);
+  EXPECT_EQ(c.bytes_up, 1'250'000U);
+  EXPECT_GT(c.device_energy_j, 0.0);
+}
+
+TEST(CostModel, SplitCombinesBothSides) {
+  const auto p = planner();
+  const CostEstimate c = p.split(100'000'000, 4'000, 2'000'000'000, 400);
+  const CostEstimate local_only = p.on_device(100'000'000);
+  EXPECT_GT(c.latency_s, local_only.latency_s);
+  EXPECT_EQ(c.bytes_up, 4'000U);
+}
+
+TEST(CostModel, LowBandwidthFavorsOnDevice) {
+  // §III trade-off: big input + slow network -> local wins; fast network +
+  // heavy compute -> cloud wins.
+  const std::int64_t flops = 500'000'000;      // 0.5 GFLOP model
+  const std::uint64_t input_bytes = 2'000'000;  // 2 MB image
+
+  const auto slow = planner(NetworkModel::cellular_3g());
+  EXPECT_LT(slow.on_device(flops).latency_s,
+            slow.on_cloud(input_bytes, flops, 100).latency_s);
+
+  NetworkModel gigabit{1000.0, 1000.0, 0.005};
+  const auto fast = planner(gigabit);
+  EXPECT_GT(fast.on_device(flops).latency_s,
+            fast.on_cloud(input_bytes, flops, 100).latency_s);
+}
+
+TEST(CostModel, SplitReducesUplinkVersusRaw) {
+  const auto p = planner(NetworkModel::lte());
+  const std::uint64_t raw = 1'000'000;
+  const std::uint64_t rep = 32 * 4;  // 32-float representation
+  const CostEstimate cloud = p.on_cloud(raw, 1'000'000'000, 100);
+  const CostEstimate split = p.split(10'000'000, rep, 990'000'000, 100);
+  EXPECT_LT(split.bytes_up, cloud.bytes_up);
+  EXPECT_LT(split.latency_s, cloud.latency_s);
+}
+
+TEST(CostModel, TransferTimes) {
+  NetworkModel net{8.0, 80.0, 0.0};
+  EXPECT_NEAR(net.upload_time_s(1'000'000), 1.0, 1e-9);
+  EXPECT_NEAR(net.download_time_s(1'000'000), 0.1, 1e-9);
+  NetworkModel bad{0.0, 1.0, 0.0};
+  EXPECT_THROW(bad.upload_time_s(1), Error);
+}
+
+TEST(CostModel, ProfilesSane) {
+  const auto phone = DeviceProfile::mobile_soc();
+  const auto server = DeviceProfile::cloud_server();
+  const auto sensor = DeviceProfile::embedded_sensor();
+  EXPECT_GT(server.effective_gflops, phone.effective_gflops);
+  EXPECT_GT(phone.effective_gflops, sensor.effective_gflops);
+  EXPECT_THROW(InferencePlanner({"x", 0.0, 1.0, 1.0, 0.1},
+                                DeviceProfile::cloud_server(),
+                                NetworkModel::wifi()),
+               Error);
+}
+
+}  // namespace
+}  // namespace mdl::mobile

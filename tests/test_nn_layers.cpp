@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grad_check.hpp"
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::nn {
+namespace {
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin(2, 3, rng);
+  lin.weight().value = Tensor({3, 2}, {1, 2, 3, 4, 5, 6});
+  lin.bias().value = Tensor({3}, {0.5F, -0.5F, 1.0F});
+  const Tensor x({1, 2}, {1.0F, 2.0F});
+  const Tensor y = lin.forward(x);
+  EXPECT_NEAR(y.at(0, 0), 1 * 1 + 2 * 2 + 0.5, 1e-6);
+  EXPECT_NEAR(y.at(0, 1), 3 * 1 + 4 * 2 - 0.5, 1e-6);
+  EXPECT_NEAR(y.at(0, 2), 5 * 1 + 6 * 2 + 1.0, 1e-6);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(2);
+  Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.forward(Tensor({1, 3})), Error);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(3);
+  Linear lin(3, 2, rng, false);
+  EXPECT_FALSE(lin.has_bias());
+  EXPECT_EQ(lin.parameters().size(), 1U);
+  const Tensor y = lin.forward(Tensor({2, 3}));
+  EXPECT_EQ(y.sum(), 0.0);  // zero input, no bias
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(4);
+  Linear lin(3, 2, rng);
+  const Tensor x = Tensor::randn({4, 3}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 0, 1};
+  SoftmaxCrossEntropy loss;
+
+  auto loss_fn = [&] { return loss.forward(lin.forward(x), labels); };
+  for (Parameter* p : lin.parameters()) {
+    test::check_gradient(
+        p->value, loss_fn,
+        [&] {
+          loss_fn();
+          lin.zero_grad();
+          lin.backward(loss.backward());
+          return p->grad;
+        });
+  }
+}
+
+TEST(Linear, InputGradientCheck) {
+  Rng rng(5);
+  Linear lin(3, 2, rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  const std::vector<std::int64_t> labels{1, 0};
+  SoftmaxCrossEntropy loss;
+  auto loss_fn = [&] { return loss.forward(lin.forward(x), labels); };
+  test::check_gradient(x, loss_fn, [&] {
+    loss_fn();
+    lin.zero_grad();
+    return lin.backward(loss.backward());
+  });
+}
+
+TEST(Linear, FlopsCount) {
+  Rng rng(6);
+  Linear lin(10, 5, rng);
+  EXPECT_EQ(lin.flops_per_example(), 2 * 10 * 5 + 5);
+  Linear nb(10, 5, rng, false);
+  EXPECT_EQ(nb.flops_per_example(), 2 * 10 * 5);
+}
+
+TEST(Activations, ReluForwardBackward) {
+  ReLU relu;
+  const Tensor x({4}, {-1.0F, 0.0F, 0.5F, 2.0F});
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y.at(0), 0.0F);
+  EXPECT_EQ(y.at(3), 2.0F);
+  const Tensor g = relu.backward(Tensor({4}, {1, 1, 1, 1}));
+  EXPECT_EQ(g.at(0), 0.0F);
+  EXPECT_EQ(g.at(1), 0.0F);  // grad at exactly 0 defined as 0
+  EXPECT_EQ(g.at(2), 1.0F);
+}
+
+TEST(Activations, SigmoidValuesAndStability) {
+  EXPECT_NEAR(sigmoid_scalar(0.0F), 0.5F, 1e-6);
+  EXPECT_NEAR(sigmoid_scalar(100.0F), 1.0F, 1e-6);
+  EXPECT_NEAR(sigmoid_scalar(-100.0F), 0.0F, 1e-6);
+  EXPECT_FALSE(std::isnan(sigmoid_scalar(-1000.0F)));
+}
+
+TEST(Activations, SigmoidBackwardMatchesDerivative) {
+  Sigmoid sig;
+  const Tensor x({3}, {-1.0F, 0.0F, 2.0F});
+  const Tensor y = sig.forward(x);
+  const Tensor g = sig.backward(Tensor::ones({3}));
+  for (std::int64_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(g[i], y[i] * (1.0F - y[i]), 1e-6);
+}
+
+TEST(Activations, TanhBackwardMatchesDerivative) {
+  Tanh th;
+  const Tensor x({3}, {-0.5F, 0.0F, 1.5F});
+  const Tensor y = th.forward(x);
+  const Tensor g = th.backward(Tensor::ones({3}));
+  for (std::int64_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(g[i], 1.0F - y[i] * y[i], 1e-6);
+}
+
+TEST(Activations, SoftmaxRowsSumToOne) {
+  Rng rng(7);
+  const Tensor logits = Tensor::randn({5, 4}, rng, 0.0F, 10.0F);
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      EXPECT_GE(p.at(i, j), 0.0F);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Activations, SoftmaxStableUnderLargeLogits) {
+  const Tensor logits({1, 3}, {1000.0F, 1000.0F, -1000.0F});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_NEAR(p.at(0, 0), 0.5F, 1e-5);
+  EXPECT_NEAR(p.at(0, 2), 0.0F, 1e-5);
+}
+
+TEST(Activations, LogSoftmaxConsistentWithSoftmax) {
+  Rng rng(8);
+  const Tensor logits = Tensor::randn({3, 5}, rng);
+  const Tensor lp = log_softmax_rows(logits);
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t i = 0; i < lp.size(); ++i)
+    EXPECT_NEAR(std::exp(lp[i]), p[i], 1e-5);
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Rng rng(9);
+  Dropout d(0.5, rng);
+  d.set_training(false);
+  const Tensor x = Tensor::randn({10, 10}, rng);
+  EXPECT_TRUE(allclose(d.forward(x), x, 0.0F));
+  EXPECT_TRUE(allclose(d.backward(x), x, 0.0F));
+}
+
+TEST(Dropout, TrainingDropsApproxRateAndScales) {
+  Rng rng(10);
+  Dropout d(0.4, rng);
+  const Tensor x = Tensor::ones({10000});
+  const Tensor y = d.forward(x);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0F / 0.6F, 1e-5);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.4, 0.03);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(y.mean(), 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(11);
+  Dropout d(0.5, rng);
+  const Tensor x = Tensor::ones({1000});
+  const Tensor y = d.forward(x);
+  const Tensor g = d.backward(Tensor::ones({1000}));
+  for (std::int64_t i = 0; i < y.size(); ++i) EXPECT_EQ(g[i], y[i]);
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  Rng rng(12);
+  EXPECT_THROW(Dropout(1.0, rng), Error);
+  EXPECT_THROW(Dropout(-0.1, rng), Error);
+}
+
+TEST(Sequential, ComposesAndReportsName) {
+  Rng rng(13);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 3, rng);
+  EXPECT_EQ(seq.size(), 3U);
+  EXPECT_NE(seq.name().find("Linear(4->8)"), std::string::npos);
+  EXPECT_EQ(seq.parameters().size(), 4U);
+  EXPECT_EQ(seq.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+  const Tensor y = seq.forward(Tensor::randn({5, 4}, rng));
+  EXPECT_EQ(y.shape(0), 5);
+  EXPECT_EQ(y.shape(1), 3);
+  EXPECT_EQ(seq.flops_per_example(),
+            seq.layer(0).flops_per_example() + seq.layer(2).flops_per_example());
+}
+
+TEST(Sequential, GradientCheckThroughStack) {
+  Rng rng(14);
+  Sequential seq;
+  seq.emplace<Linear>(3, 5, rng);
+  seq.emplace<Tanh>();
+  seq.emplace<Linear>(5, 2, rng);
+  const Tensor x = Tensor::randn({3, 3}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 1};
+  SoftmaxCrossEntropy loss;
+  auto loss_fn = [&] { return loss.forward(seq.forward(x), labels); };
+  for (Parameter* p : seq.parameters()) {
+    test::check_gradient(p->value, loss_fn, [&] {
+      loss_fn();
+      seq.zero_grad();
+      seq.backward(loss.backward());
+      return p->grad;
+    });
+  }
+}
+
+TEST(Sequential, SplitOffPreservesComposition) {
+  Rng rng(15);
+  Sequential seq;
+  seq.emplace<Linear>(4, 6, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(6, 2, rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  const Tensor whole = seq.forward(x);
+  auto tail = seq.split_off(2);
+  EXPECT_EQ(seq.size(), 2U);
+  EXPECT_EQ(tail->size(), 1U);
+  const Tensor composed = tail->forward(seq.forward(x));
+  EXPECT_TRUE(allclose(whole, composed, 1e-6F));
+  EXPECT_THROW(seq.split_off(7), Error);
+}
+
+TEST(Sequential, SaveLoadStateRoundTrip) {
+  Rng rng(16);
+  Sequential a;
+  a.emplace<Linear>(3, 4, rng);
+  a.emplace<ReLU>();
+  a.emplace<Linear>(4, 2, rng);
+  Sequential b;
+  b.emplace<Linear>(3, 4, rng);
+  b.emplace<ReLU>();
+  b.emplace<Linear>(4, 2, rng);
+
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save_state(w);
+  BinaryReader r(ss);
+  b.load_state(r);
+
+  const Tensor x = Tensor::randn({3, 3}, rng);
+  EXPECT_TRUE(allclose(a.forward(x), b.forward(x), 0.0F));
+}
+
+TEST(Sequential, LoadStateShapeMismatchThrows) {
+  Rng rng(17);
+  Sequential a;
+  a.emplace<Linear>(3, 4, rng);
+  Sequential b;
+  b.emplace<Linear>(3, 5, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save_state(w);
+  BinaryReader r(ss);
+  EXPECT_THROW(b.load_state(r), Error);
+}
+
+TEST(Init, XavierWithinBounds) {
+  Rng rng(18);
+  Tensor w({50, 50});
+  xavier_uniform(w, 50, 50, rng);
+  const float a = std::sqrt(6.0F / 100.0F);
+  EXPECT_GE(w.min(), -a);
+  EXPECT_LE(w.max(), a);
+  EXPECT_NEAR(w.mean(), 0.0, 0.02);
+}
+
+TEST(Init, HeNormalVariance) {
+  Rng rng(19);
+  Tensor w({100, 100});
+  he_normal(w, 100, rng);
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < w.size(); ++i) sq += w[i] * w[i];
+  EXPECT_NEAR(sq / w.size(), 2.0 / 100.0, 0.002);
+}
+
+}  // namespace
+}  // namespace mdl::nn

@@ -1,0 +1,86 @@
+#include "nn/param_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdl::nn {
+namespace {
+
+class ParamFixture : public ::testing::Test {
+ protected:
+  ParamFixture()
+      : a_("a", Tensor({2, 2}, {1, 2, 3, 4})),
+        b_("b", Tensor({3}, {5, 6, 7})) {
+    a_.grad = Tensor({2, 2}, {0.1F, 0.2F, 0.3F, 0.4F});
+    b_.grad = Tensor({3}, {1.0F, -1.0F, 2.0F});
+    params_ = {&a_, &b_};
+  }
+  Parameter a_, b_;
+  std::vector<Parameter*> params_;
+};
+
+TEST_F(ParamFixture, TotalSize) { EXPECT_EQ(total_size(params_), 7); }
+
+TEST_F(ParamFixture, FlattenValuesOrder) {
+  const auto flat = flatten_values(params_);
+  ASSERT_EQ(flat.size(), 7U);
+  EXPECT_EQ(flat[0], 1.0F);
+  EXPECT_EQ(flat[4], 5.0F);
+  EXPECT_EQ(flat[6], 7.0F);
+}
+
+TEST_F(ParamFixture, FlattenGrads) {
+  const auto flat = flatten_grads(params_);
+  EXPECT_EQ(flat[1], 0.2F);
+  EXPECT_EQ(flat[5], -1.0F);
+}
+
+TEST_F(ParamFixture, UnflattenRoundTrip) {
+  auto flat = flatten_values(params_);
+  for (auto& v : flat) v *= 2.0F;
+  unflatten_into_values(flat, params_);
+  EXPECT_EQ(a_.value.at(1, 1), 8.0F);
+  EXPECT_EQ(b_.value.at(0), 10.0F);
+  unflatten_into_grads(flat, params_);
+  EXPECT_EQ(b_.grad.at(2), 14.0F);
+}
+
+TEST_F(ParamFixture, UnflattenSizeMismatchThrows) {
+  const std::vector<float> wrong(6, 0.0F);
+  EXPECT_THROW(unflatten_into_values(wrong, params_), Error);
+}
+
+TEST_F(ParamFixture, GradGlobalNorm) {
+  const double expected = std::sqrt(0.01 + 0.04 + 0.09 + 0.16 + 1 + 1 + 4);
+  EXPECT_NEAR(grad_global_norm(params_), expected, 1e-5);
+}
+
+TEST_F(ParamFixture, ClipNoopWhenBelowThreshold) {
+  const double before = grad_global_norm(params_);
+  const double reported = clip_grad_global_norm(params_, 100.0);
+  EXPECT_NEAR(reported, before, 1e-9);
+  EXPECT_NEAR(grad_global_norm(params_), before, 1e-9);
+}
+
+TEST_F(ParamFixture, ClipScalesToMaxNorm) {
+  clip_grad_global_norm(params_, 1.0);
+  EXPECT_NEAR(grad_global_norm(params_), 1.0, 1e-5);
+  EXPECT_THROW(clip_grad_global_norm(params_, 0.0), Error);
+}
+
+TEST(ParamUtils, L2NormAndClip) {
+  std::vector<float> v{3.0F, 4.0F};
+  EXPECT_NEAR(l2_norm(v), 5.0, 1e-6);
+  const double pre = clip_l2(v, 2.5);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(l2_norm(v), 2.5, 1e-5);
+  EXPECT_NEAR(v[0], 1.5F, 1e-5);
+  // Already below: untouched.
+  std::vector<float> w{0.1F};
+  clip_l2(w, 1.0);
+  EXPECT_EQ(w[0], 0.1F);
+}
+
+}  // namespace
+}  // namespace mdl::nn

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "privacy/pate.hpp"
+#include "split/reconstruction.hpp"
+
+namespace mdl::privacy {
+namespace {
+
+struct PateFixture : ::testing::Test {
+  PateFixture() {
+    Rng rng(1);
+    data::SyntheticConfig c;
+    c.num_samples = 900;
+    c.num_features = 12;
+    c.num_classes = 4;
+    c.class_sep = 3.0;
+    const auto ds = data::make_classification(c, rng);
+    const auto split1 = data::train_test_split(ds, 0.3, rng);
+    sensitive = split1.train;
+    const auto split2 = data::train_test_split(split1.test, 0.5, rng);
+    public_set = split2.train;
+    test_set = split2.test;
+    factory = federated::mlp_factory(12, 16, 4);
+  }
+  data::TabularDataset sensitive, public_set, test_set;
+  federated::ModelFactory factory;
+};
+
+TEST_F(PateFixture, VoteCountsSumToTeachers) {
+  PateConfig cfg;
+  cfg.num_teachers = 5;
+  cfg.teacher_epochs = 5;
+  PateEnsemble ensemble(factory, sensitive, cfg);
+  const auto counts = ensemble.vote_counts(public_set.features.slice_rows(0, 1));
+  std::int64_t sum = 0;
+  for (const auto c : counts) sum += c;
+  EXPECT_EQ(sum, 5);
+  EXPECT_EQ(counts.size(), 4U);
+}
+
+TEST_F(PateFixture, BudgetTracksQueries) {
+  PateConfig cfg;
+  cfg.num_teachers = 4;
+  cfg.teacher_epochs = 3;
+  cfg.noise_scale = 4.0;
+  PateEnsemble ensemble(factory, sensitive, cfg);
+  EXPECT_EQ(ensemble.queries(), 0);
+  EXPECT_EQ(ensemble.epsilon_spent(), 0.0);
+  ensemble.noisy_label(public_set.features.slice_rows(0, 1));
+  ensemble.noisy_label(public_set.features.slice_rows(1, 2));
+  EXPECT_EQ(ensemble.queries(), 2);
+  EXPECT_NEAR(ensemble.epsilon_spent(), 2.0 * (2.0 / 4.0), 1e-12);
+}
+
+TEST_F(PateFixture, LowNoiseLabelsAgreeWithTruth) {
+  PateConfig cfg;
+  cfg.num_teachers = 6;
+  cfg.teacher_epochs = 8;
+  cfg.noise_scale = 0.05;  // nearly exact voting
+  PateEnsemble ensemble(factory, sensitive, cfg);
+  const auto labeled = ensemble.label_public(public_set.features);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < labeled.labels.size(); ++i)
+    if (labeled.labels[i] == public_set.labels[i]) ++agree;
+  EXPECT_GT(static_cast<double>(agree) /
+                static_cast<double>(labeled.labels.size()),
+            0.8);
+}
+
+TEST_F(PateFixture, HighNoiseDegradesAgreement) {
+  PateConfig low;
+  low.num_teachers = 6;
+  low.teacher_epochs = 5;
+  low.noise_scale = 0.05;
+  PateConfig high = low;
+  high.noise_scale = 50.0;  // votes drowned in noise
+  PateEnsemble precise(factory, sensitive, low);
+  PateEnsemble noisy(factory, sensitive, high);
+  const auto a = precise.label_public(public_set.features);
+  const auto b = noisy.label_public(public_set.features);
+  auto agreement = [&](const data::TabularDataset& labeled) {
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < labeled.labels.size(); ++i)
+      if (labeled.labels[i] == public_set.labels[i]) ++agree;
+    return static_cast<double>(agree) /
+           static_cast<double>(labeled.labels.size());
+  };
+  EXPECT_GT(agreement(a), agreement(b));
+  EXPECT_LT(noisy.epsilon_per_query(), precise.epsilon_per_query());
+}
+
+TEST_F(PateFixture, EndToEndStudentLearns) {
+  PateConfig cfg;
+  cfg.num_teachers = 6;
+  cfg.teacher_epochs = 8;
+  cfg.noise_scale = 0.5;  // eps = 4 per query
+  const PateResult result =
+      run_pate(factory, sensitive, public_set, test_set, cfg);
+  EXPECT_GT(result.student_accuracy, 0.7);
+  EXPECT_GT(result.label_agreement, 0.7);
+  EXPECT_NEAR(result.epsilon,
+              static_cast<double>(public_set.size()) * 4.0, 1e-6);
+}
+
+TEST_F(PateFixture, InvalidConfigThrows) {
+  PateConfig bad;
+  bad.num_teachers = 1;
+  EXPECT_THROW(PateEnsemble(factory, sensitive, bad), Error);
+  PateConfig bad2;
+  bad2.noise_scale = 0.0;
+  EXPECT_THROW(PateEnsemble(factory, sensitive, bad2), Error);
+}
+
+}  // namespace
+}  // namespace mdl::privacy
+
+namespace mdl::split {
+namespace {
+
+struct AttackFixture : ::testing::Test {
+  AttackFixture() {
+    Rng rng(2);
+    data::SyntheticConfig c;
+    c.num_samples = 500;
+    c.num_features = 16;
+    c.num_classes = 3;
+    c.class_sep = 2.5;
+    const auto ds = data::make_classification(c, rng);
+    const auto split = data::train_test_split(ds, 0.3, rng);
+    attacker = split.train;
+    victim = split.test;
+
+    Rng net_rng(3);
+    auto whole = std::make_unique<nn::Sequential>();
+    whole->emplace<nn::Linear>(16, 10, net_rng);
+    whole->emplace<nn::Tanh>();
+    whole->emplace<nn::Linear>(10, 3, net_rng);
+    system = std::make_unique<SplitInference>(
+        SplitInference::from_whole(std::move(whole), 2));
+  }
+  data::TabularDataset attacker, victim;
+  std::unique_ptr<SplitInference> system;
+};
+
+TEST_F(AttackFixture, CleanRepresentationIsReconstructible) {
+  PerturbConfig off;
+  off.nullification_rate = 0.0;
+  off.laplace_scale = 0.0;
+  AttackConfig ac;
+  const auto report =
+      reconstruction_attack(*system, attacker, victim, off, ac);
+  // A 10-d representation of a 16-d Gaussian-cluster input retains most of
+  // the structure: the attacker should do far better than the mean
+  // predictor.
+  EXPECT_LT(report.relative_error, 0.7);
+  EXPECT_GT(report.mse, 0.0);
+}
+
+TEST_F(AttackFixture, PerturbationDegradesReconstruction) {
+  PerturbConfig off;
+  off.nullification_rate = 0.0;
+  off.laplace_scale = 0.0;
+  PerturbConfig strong;
+  strong.nullification_rate = 0.4;
+  strong.laplace_scale = 1.0;
+  strong.clip_bound = 1.0;
+  AttackConfig ac;
+  const auto clean = reconstruction_attack(*system, attacker, victim, off, ac);
+  const auto noisy =
+      reconstruction_attack(*system, attacker, victim, strong, ac);
+  EXPECT_GT(noisy.relative_error, clean.relative_error);
+}
+
+TEST_F(AttackFixture, EmptyDatasetThrows) {
+  data::TabularDataset empty;
+  empty.num_classes = 3;
+  PerturbConfig cfg;
+  EXPECT_THROW(
+      reconstruction_attack(*system, empty, victim, cfg, AttackConfig{}),
+      Error);
+}
+
+}  // namespace
+}  // namespace mdl::split

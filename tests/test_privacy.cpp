@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "privacy/accountant.hpp"
+#include "privacy/dp_fedavg.hpp"
+#include "privacy/dp_sgd.hpp"
+#include "privacy/mechanisms.hpp"
+#include "privacy/sparse_vector.hpp"
+
+namespace mdl::privacy {
+namespace {
+
+TEST(Mechanisms, LaplaceNoiseScale) {
+  Rng rng(1);
+  std::vector<float> v(20000, 0.0F);
+  laplace_mechanism(v, 1.0, 0.5, rng);  // scale = 2
+  double abs_mean = 0.0;
+  for (const float x : v) abs_mean += std::abs(x);
+  abs_mean /= static_cast<double>(v.size());
+  EXPECT_NEAR(abs_mean, 2.0, 0.1);  // E|Laplace(b)| = b
+  EXPECT_THROW(laplace_mechanism(v, 1.0, 0.0, rng), Error);
+}
+
+TEST(Mechanisms, GaussianNoiseStddev) {
+  Rng rng(2);
+  std::vector<float> v(20000, 5.0F);
+  add_gaussian_noise(v, 2.0, rng);
+  double mean = 0.0, sq = 0.0;
+  for (const float x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  for (const float x : v) sq += (x - mean) * (x - mean);
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(v.size())), 2.0, 0.1);
+}
+
+TEST(Mechanisms, ZeroStddevIsNoop) {
+  Rng rng(3);
+  std::vector<float> v{1.0F, 2.0F};
+  add_gaussian_noise(v, 0.0, rng);
+  EXPECT_EQ(v[0], 1.0F);
+}
+
+TEST(Mechanisms, GaussianSigmaFormula) {
+  const double sigma = gaussian_sigma(1.0, 1.0, 1e-5);
+  EXPECT_NEAR(sigma, std::sqrt(2.0 * std::log(1.25e5)), 1e-9);
+  // Sigma scales linearly with sensitivity, inversely with epsilon.
+  EXPECT_NEAR(gaussian_sigma(2.0, 1.0, 1e-5), 2.0 * sigma, 1e-9);
+  EXPECT_NEAR(gaussian_sigma(1.0, 2.0, 1e-5), sigma / 2.0, 1e-9);
+  EXPECT_THROW(gaussian_sigma(1.0, 0.0, 1e-5), Error);
+}
+
+TEST(Mechanisms, NullifyRateAndCount) {
+  Rng rng(4);
+  std::vector<float> v(10000, 1.0F);
+  const std::int64_t n = nullify(v, 0.3, rng);
+  std::int64_t zeros = 0;
+  for (const float x : v)
+    if (x == 0.0F) ++zeros;
+  EXPECT_EQ(n, zeros);
+  EXPECT_NEAR(static_cast<double>(zeros) / v.size(), 0.3, 0.03);
+  EXPECT_EQ(nullify(v, 0.0, rng), 0);
+  std::vector<float> all(100, 2.0F);
+  EXPECT_EQ(nullify(all, 1.0, rng), 100);
+}
+
+TEST(Accountant, UnsubsampledMatchesClosedForm) {
+  // q = 1: RDP(alpha) = alpha / (2 z^2).
+  for (const int alpha : {2, 5, 32}) {
+    EXPECT_NEAR(subsampled_gaussian_rdp(1.0, 2.0, alpha),
+                alpha / (2.0 * 4.0), 1e-9);
+  }
+}
+
+TEST(Accountant, SubsamplingReducesRdp) {
+  const double full = subsampled_gaussian_rdp(1.0, 1.0, 8);
+  const double sub = subsampled_gaussian_rdp(0.01, 1.0, 8);
+  EXPECT_LT(sub, full);
+  EXPECT_GT(sub, 0.0);
+}
+
+TEST(Accountant, EpsilonGrowsWithSteps) {
+  MomentsAccountant a;
+  a.add_steps(100, 0.01, 1.0);
+  const double e1 = a.epsilon(1e-5);
+  a.add_steps(900, 0.01, 1.0);
+  const double e2 = a.epsilon(1e-5);
+  EXPECT_GT(e2, e1);
+  EXPECT_GT(e1, 0.0);
+}
+
+TEST(Accountant, MoreNoiseMeansLessEpsilon) {
+  MomentsAccountant low, high;
+  low.add_steps(500, 0.02, 0.8);
+  high.add_steps(500, 0.02, 4.0);
+  EXPECT_LT(high.epsilon(1e-5), low.epsilon(1e-5));
+}
+
+TEST(Accountant, StrongCompositionBeatsNaive) {
+  // 1000 steps of the q=0.01, z=1 mechanism should cost far less than
+  // 1000x a single step's epsilon (the whole point of the accountant).
+  MomentsAccountant one, many;
+  one.add_steps(1, 0.01, 1.0);
+  many.add_steps(1000, 0.01, 1.0);
+  EXPECT_LT(many.epsilon(1e-5), 1000.0 * one.epsilon(1e-5));
+}
+
+TEST(Accountant, ResetAndDiagnostics) {
+  MomentsAccountant a;
+  a.add_steps(10, 0.1, 1.0);
+  EXPECT_GT(a.rdp_at(2), 0.0);
+  EXPECT_GE(a.optimal_order(1e-5), 2);
+  a.reset();
+  EXPECT_EQ(a.rdp_at(2), 0.0);
+  EXPECT_THROW(a.rdp_at(1), Error);
+  EXPECT_THROW(a.epsilon(0.0), Error);
+}
+
+TEST(Accountant, InvalidParamsThrow) {
+  EXPECT_THROW(subsampled_gaussian_rdp(0.0, 1.0, 2), Error);
+  EXPECT_THROW(subsampled_gaussian_rdp(0.5, 0.0, 2), Error);
+  EXPECT_THROW(subsampled_gaussian_rdp(0.5, 1.0, 1), Error);
+}
+
+TEST(SparseVector, BudgetEnforced) {
+  Rng rng(5);
+  SparseVector sv(1.0, 0.5, 3, 1.0, rng);
+  int hits = 0;
+  for (int i = 0; i < 1000 && sv.active(); ++i)
+    if (sv.query(10.0)) ++hits;  // way above threshold: should fire
+  EXPECT_EQ(hits, 3);
+  EXPECT_FALSE(sv.active());
+  EXPECT_THROW(sv.query(10.0), Error);
+}
+
+TEST(SparseVector, ClearSignalsDetected) {
+  Rng rng(6);
+  // Large epsilon -> little noise; huge gap between signal and threshold.
+  SparseVector sv(50.0, 0.0, 5, 1.0, rng);
+  std::vector<double> values(100, -100.0);
+  values[10] = 100.0;
+  values[40] = 100.0;
+  const auto selected = sv.select(values);
+  ASSERT_EQ(selected.size(), 2U);
+  EXPECT_EQ(selected[0], 10U);
+  EXPECT_EQ(selected[1], 40U);
+}
+
+TEST(SparseVector, InvalidConfigThrows) {
+  Rng rng(7);
+  EXPECT_THROW(SparseVector(0.0, 0.0, 1, 1.0, rng), Error);
+  EXPECT_THROW(SparseVector(1.0, 0.0, 0, 1.0, rng), Error);
+}
+
+struct DpFixture : ::testing::Test {
+  DpFixture() {
+    Rng rng(8);
+    data::SyntheticConfig c;
+    c.num_samples = 400;
+    c.num_features = 10;
+    c.num_classes = 3;
+    c.class_sep = 3.0;
+    const auto ds = data::make_classification(c, rng);
+    const auto split = data::train_test_split(ds, 0.25, rng);
+    train_set = split.train;
+    test_set = split.test;
+  }
+  data::TabularDataset train_set, test_set;
+};
+
+TEST_F(DpFixture, DpSgdLearnsWithModerateNoise) {
+  Rng rng(9);
+  auto model = federated::mlp_factory(10, 12, 3)(rng);
+  DpSgdConfig cfg;
+  cfg.epochs = 3;
+  cfg.lot_size = 40;
+  cfg.noise_multiplier = 1.0;
+  const DpSgdResult result = train_dp_sgd(*model, train_set, test_set, cfg);
+  EXPECT_GT(result.test_accuracy, 0.6);
+  EXPECT_GT(result.epsilon, 0.0);
+  EXPECT_TRUE(std::isfinite(result.epsilon));
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST_F(DpFixture, DpSgdZeroNoiseHasInfiniteEpsilon) {
+  Rng rng(10);
+  auto model = federated::mlp_factory(10, 12, 3)(rng);
+  DpSgdConfig cfg;
+  cfg.epochs = 8;
+  cfg.lot_size = 40;
+  cfg.noise_multiplier = 0.0;
+  const DpSgdResult result = train_dp_sgd(*model, train_set, test_set, cfg);
+  EXPECT_TRUE(std::isinf(result.epsilon));
+  EXPECT_GT(result.test_accuracy, 0.65);
+}
+
+TEST_F(DpFixture, DpFedAvgRunsAndTracksEpsilon) {
+  Rng rng(11);
+  const auto shards = data::partition_dirichlet(train_set, 8, 1.0, rng);
+  DpFedAvgConfig cfg;
+  cfg.rounds = 8;
+  cfg.client_sample_prob = 0.5;
+  cfg.local_epochs = 2;
+  cfg.noise_multiplier = 0.8;
+  cfg.clip_norm = 10.0;
+  DpFedAvgTrainer trainer(federated::mlp_factory(10, 12, 3), shards, cfg);
+  const auto history = trainer.run(test_set);
+  ASSERT_EQ(history.size(), 8U);
+  EXPECT_GT(history.back().test_accuracy, 0.5);
+  // Epsilon is monotone over rounds.
+  for (std::size_t i = 1; i < history.size(); ++i)
+    EXPECT_GE(history[i].epsilon, history[i - 1].epsilon);
+}
+
+TEST_F(DpFixture, DpFedAvgNoNoiseApproachesNonPrivate) {
+  Rng rng(12);
+  const auto shards = data::partition_dirichlet(train_set, 6, 1.0, rng);
+  DpFedAvgConfig cfg;
+  cfg.rounds = 10;
+  cfg.client_sample_prob = 1.0;
+  cfg.noise_multiplier = 0.0;
+  cfg.clip_norm = 100.0;  // effectively no clipping
+  DpFedAvgTrainer trainer(federated::mlp_factory(10, 12, 3), shards, cfg);
+  const auto history = trainer.run(test_set);
+  EXPECT_GT(history.back().test_accuracy, 0.8);
+  EXPECT_TRUE(std::isinf(history.back().epsilon));
+}
+
+TEST_F(DpFixture, InvalidConfigsThrow) {
+  Rng rng(13);
+  auto model = federated::mlp_factory(10, 12, 3)(rng);
+  DpSgdConfig bad;
+  bad.lot_size = 0;
+  EXPECT_THROW(train_dp_sgd(*model, train_set, test_set, bad), Error);
+  DpSgdConfig bad2;
+  bad2.clip_norm = 0.0;
+  EXPECT_THROW(train_dp_sgd(*model, train_set, test_set, bad2), Error);
+
+  const auto shards = data::partition_iid(train_set, 4, rng);
+  DpFedAvgConfig fbad;
+  fbad.client_sample_prob = 0.0;
+  EXPECT_THROW(
+      DpFedAvgTrainer(federated::mlp_factory(10, 12, 3), shards, fbad),
+      Error);
+}
+
+}  // namespace
+}  // namespace mdl::privacy

@@ -1,0 +1,216 @@
+#include "core/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace mdl {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(5);
+  Rng fork1 = a.fork();
+  Rng b(5);
+  Rng fork2 = b.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+  // Parent advanced identically.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeChecks) {
+  Rng rng(4);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  const double v = rng.uniform(-3.0, -1.0);
+  EXPECT_GE(v, -3.0);
+  EXPECT_LT(v, -1.0);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, LaplaceMomentsAndSymmetry) {
+  Rng rng(10);
+  double sum = 0.0, abs_sum = 0.0;
+  const int n = 20000;
+  const double b = 2.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.laplace(b);
+    sum += v;
+    abs_sum += std::abs(v);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(abs_sum / n, b, 0.1);  // E|X| = b for Laplace(0, b)
+  EXPECT_THROW(rng.laplace(-1.0), Error);
+}
+
+TEST(Rng, LaplaceZeroScaleIsZero) {
+  Rng rng(101);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.laplace(0.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, GammaMean) {
+  Rng rng(12);
+  for (const double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.15 * shape + 0.05) << "shape " << shape;
+  }
+  EXPECT_THROW(rng.gamma(0.0), Error);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(13);
+  for (const double alpha : {0.1, 1.0, 10.0}) {
+    const auto p = rng.dirichlet(5, alpha);
+    ASSERT_EQ(p.size(), 5U);
+    double sum = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentrationControlsSkew) {
+  Rng rng(14);
+  // With tiny alpha the max component should dominate; with large alpha
+  // components should be near-uniform.
+  double max_small = 0.0, max_large = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    const auto s = rng.dirichlet(10, 0.05);
+    max_small += *std::max_element(s.begin(), s.end());
+    const auto l = rng.dirichlet(10, 50.0);
+    max_large += *std::max_element(l.begin(), l.end());
+  }
+  EXPECT_GT(max_small / reps, 0.7);
+  EXPECT_LT(max_large / reps, 0.25);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(15);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.03);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), Error);
+  const std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(rng.categorical(neg), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  const auto s = rng.sample_without_replacement(20, 10);
+  EXPECT_EQ(s.size(), 10U);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10U);
+  for (const std::size_t i : uniq) EXPECT_LT(i, 20U);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, SampleAllIsFullSet) {
+  Rng rng(18);
+  auto s = rng.sample_without_replacement(8, 8);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, PermutationCoversRange) {
+  Rng rng(19);
+  auto p = rng.permutation(30);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(p[i], i);
+}
+
+}  // namespace
+}  // namespace mdl

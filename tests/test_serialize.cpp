@@ -1,0 +1,106 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mdl {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u8(200);
+  w.write_u32(123456789U);
+  w.write_u64(0xDEADBEEFCAFEBABEULL);
+  w.write_i64(-42);
+  w.write_f32(3.25F);
+  w.write_f64(-2.5e300);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u8(), 200);
+  EXPECT_EQ(r.read_u32(), 123456789U);
+  EXPECT_EQ(r.read_u64(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f32(), 3.25F);
+  EXPECT_EQ(r.read_f64(), -2.5e300);
+}
+
+TEST(Serialize, ByteAccounting) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(1);
+  w.write_f64(1.0);
+  EXPECT_EQ(w.bytes_written(), 12U);
+  w.write_string("abc");
+  EXPECT_EQ(w.bytes_written(), 12U + 8U + 3U);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_string("");
+  w.write_string("hello \0 world");
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello \0 world");
+}
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({3, 4, 2}, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_tensor(t);
+  BinaryReader r(ss);
+  const Tensor back = r.read_tensor();
+  EXPECT_TRUE(allclose(t, back, 0.0F));
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_tensor(Tensor({0}));
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_tensor().size(), 0);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_f32_vector({1.0F, -2.0F, 3.5F});
+  w.write_u32_vector({7U, 8U});
+  BinaryReader r(ss);
+  const auto f = r.read_f32_vector();
+  ASSERT_EQ(f.size(), 3U);
+  EXPECT_EQ(f[2], 3.5F);
+  const auto u = r.read_u32_vector();
+  ASSERT_EQ(u.size(), 2U);
+  EXPECT_EQ(u[1], 8U);
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(5);
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u32(), 5U);
+  EXPECT_THROW(r.read_u32(), Error);
+}
+
+TEST(Serialize, HeaderRoundTripAndValidation) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  write_archive_header(w, 3);
+  BinaryReader r(ss);
+  EXPECT_EQ(read_archive_header(r), 3U);
+
+  std::stringstream bad;
+  BinaryWriter wb(bad);
+  wb.write_u32(0x12345678U);
+  wb.write_u32(1);
+  BinaryReader rb(bad);
+  EXPECT_THROW(read_archive_header(rb), Error);
+}
+
+}  // namespace
+}  // namespace mdl

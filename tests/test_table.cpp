@@ -1,0 +1,58 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace mdl {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  TablePrinter t({"Method", "Accuracy"});
+  t.begin_row().add("LR").add_percent(0.4425);
+  t.begin_row().add("DEEPSERVICE").add_percent(0.8735);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| Method"), std::string::npos);
+  EXPECT_NE(s.find("44.25%"), std::string::npos);
+  EXPECT_NE(s.find("87.35%"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  TablePrinter t({"a", "b"});
+  t.begin_row().add(3.14159, 2).add(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Table, RowOverflowThrows) {
+  TablePrinter t({"only"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), Error);
+}
+
+TEST(Table, AddBeforeBeginRowThrows) {
+  TablePrinter t({"c"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(format_bytes(0), "0 B");
+}
+
+}  // namespace
+}  // namespace mdl

@@ -1,0 +1,62 @@
+#include "core/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mdl {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 20; ++i)
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1U);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // Pool still works afterwards.
+  auto ok = pool.submit([] {});
+  ok.get();
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(&pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  const std::vector<int> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);  // sequential and ordered
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(&pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace mdl
