@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_selective_sgd.dir/fig1_selective_sgd.cpp.o"
+  "CMakeFiles/fig1_selective_sgd.dir/fig1_selective_sgd.cpp.o.d"
+  "fig1_selective_sgd"
+  "fig1_selective_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_selective_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fedavg_communication.dir/fig2_fedavg_communication.cpp.o"
+  "CMakeFiles/fig2_fedavg_communication.dir/fig2_fedavg_communication.cpp.o.d"
+  "fig2_fedavg_communication"
+  "fig2_fedavg_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fedavg_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_split_inference.dir/fig3_split_inference.cpp.o"
+  "CMakeFiles/fig3_split_inference.dir/fig3_split_inference.cpp.o.d"
+  "fig3_split_inference"
+  "fig3_split_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_split_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_split_inference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_per_participant.cpp" "bench/CMakeFiles/fig5_per_participant.dir/fig5_per_participant.cpp.o" "gcc" "bench/CMakeFiles/fig5_per_participant.dir/fig5_per_participant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mdl_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mdl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/federated/CMakeFiles/mdl_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/mdl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mdl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/mdl_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobile/CMakeFiles/mdl_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mdl_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

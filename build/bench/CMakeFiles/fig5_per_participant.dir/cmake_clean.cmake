@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_participant.dir/fig5_per_participant.cpp.o"
+  "CMakeFiles/fig5_per_participant.dir/fig5_per_participant.cpp.o.d"
+  "fig5_per_participant"
+  "fig5_per_participant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_participant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

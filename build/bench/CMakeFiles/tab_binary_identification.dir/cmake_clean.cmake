@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_binary_identification.dir/tab_binary_identification.cpp.o"
+  "CMakeFiles/tab_binary_identification.dir/tab_binary_identification.cpp.o.d"
+  "tab_binary_identification"
+  "tab_binary_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_binary_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_compression.dir/tab_compression.cpp.o"
+  "CMakeFiles/tab_compression.dir/tab_compression.cpp.o.d"
+  "tab_compression"
+  "tab_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dp_federated.dir/tab_dp_federated.cpp.o"
+  "CMakeFiles/tab_dp_federated.dir/tab_dp_federated.cpp.o.d"
+  "tab_dp_federated"
+  "tab_dp_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dp_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

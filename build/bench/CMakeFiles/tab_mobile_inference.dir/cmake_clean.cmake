@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mobile_inference.dir/tab_mobile_inference.cpp.o"
+  "CMakeFiles/tab_mobile_inference.dir/tab_mobile_inference.cpp.o.d"
+  "tab_mobile_inference"
+  "tab_mobile_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mobile_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

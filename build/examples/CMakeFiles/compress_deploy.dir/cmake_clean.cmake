@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_deploy.dir/compress_deploy.cpp.o"
+  "CMakeFiles/compress_deploy.dir/compress_deploy.cpp.o.d"
+  "compress_deploy"
+  "compress_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_keyboard.dir/federated_keyboard.cpp.o"
+  "CMakeFiles/federated_keyboard.dir/federated_keyboard.cpp.o.d"
+  "federated_keyboard"
+  "federated_keyboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_keyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

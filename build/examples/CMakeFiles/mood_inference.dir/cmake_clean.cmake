@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mood_inference.dir/mood_inference.cpp.o"
+  "CMakeFiles/mood_inference.dir/mood_inference.cpp.o.d"
+  "mood_inference"
+  "mood_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mood_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

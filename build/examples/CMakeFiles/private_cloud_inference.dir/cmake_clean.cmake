@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_cloud_inference.dir/private_cloud_inference.cpp.o"
+  "CMakeFiles/private_cloud_inference.dir/private_cloud_inference.cpp.o.d"
+  "private_cloud_inference"
+  "private_cloud_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_cloud_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_identification.dir/user_identification.cpp.o"
+  "CMakeFiles/user_identification.dir/user_identification.cpp.o.d"
+  "user_identification"
+  "user_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

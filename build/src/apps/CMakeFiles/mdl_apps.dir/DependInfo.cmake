@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/multiview_model.cpp" "src/apps/CMakeFiles/mdl_apps.dir/multiview_model.cpp.o" "gcc" "src/apps/CMakeFiles/mdl_apps.dir/multiview_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mdl_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

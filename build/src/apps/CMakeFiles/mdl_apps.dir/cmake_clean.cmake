@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_apps.dir/multiview_model.cpp.o"
+  "CMakeFiles/mdl_apps.dir/multiview_model.cpp.o.d"
+  "libmdl_apps.a"
+  "libmdl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

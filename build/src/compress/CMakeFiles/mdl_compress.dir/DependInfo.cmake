@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/circulant.cpp" "src/compress/CMakeFiles/mdl_compress.dir/circulant.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/circulant.cpp.o.d"
+  "/root/repo/src/compress/deep_compression.cpp" "src/compress/CMakeFiles/mdl_compress.dir/deep_compression.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/deep_compression.cpp.o.d"
+  "/root/repo/src/compress/distill.cpp" "src/compress/CMakeFiles/mdl_compress.dir/distill.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/distill.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/mdl_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/int8.cpp" "src/compress/CMakeFiles/mdl_compress.dir/int8.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/int8.cpp.o.d"
+  "/root/repo/src/compress/low_rank.cpp" "src/compress/CMakeFiles/mdl_compress.dir/low_rank.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/low_rank.cpp.o.d"
+  "/root/repo/src/compress/prune.cpp" "src/compress/CMakeFiles/mdl_compress.dir/prune.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/prune.cpp.o.d"
+  "/root/repo/src/compress/quantize.cpp" "src/compress/CMakeFiles/mdl_compress.dir/quantize.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/quantize.cpp.o.d"
+  "/root/repo/src/compress/sparse_matrix.cpp" "src/compress/CMakeFiles/mdl_compress.dir/sparse_matrix.cpp.o" "gcc" "src/compress/CMakeFiles/mdl_compress.dir/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/federated/CMakeFiles/mdl_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

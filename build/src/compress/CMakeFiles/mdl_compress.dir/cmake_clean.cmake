@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_compress.dir/circulant.cpp.o"
+  "CMakeFiles/mdl_compress.dir/circulant.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/deep_compression.cpp.o"
+  "CMakeFiles/mdl_compress.dir/deep_compression.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/distill.cpp.o"
+  "CMakeFiles/mdl_compress.dir/distill.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/huffman.cpp.o"
+  "CMakeFiles/mdl_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/int8.cpp.o"
+  "CMakeFiles/mdl_compress.dir/int8.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/low_rank.cpp.o"
+  "CMakeFiles/mdl_compress.dir/low_rank.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/prune.cpp.o"
+  "CMakeFiles/mdl_compress.dir/prune.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/quantize.cpp.o"
+  "CMakeFiles/mdl_compress.dir/quantize.cpp.o.d"
+  "CMakeFiles/mdl_compress.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/mdl_compress.dir/sparse_matrix.cpp.o.d"
+  "libmdl_compress.a"
+  "libmdl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

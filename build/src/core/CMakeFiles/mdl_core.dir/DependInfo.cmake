@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fft.cpp" "src/core/CMakeFiles/mdl_core.dir/fft.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/fft.cpp.o.d"
+  "/root/repo/src/core/random.cpp" "src/core/CMakeFiles/mdl_core.dir/random.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/random.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/mdl_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/mdl_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/mdl_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/tensor.cpp.o.d"
+  "/root/repo/src/core/threadpool.cpp" "src/core/CMakeFiles/mdl_core.dir/threadpool.cpp.o" "gcc" "src/core/CMakeFiles/mdl_core.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

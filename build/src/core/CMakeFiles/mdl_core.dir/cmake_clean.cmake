@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_core.dir/fft.cpp.o"
+  "CMakeFiles/mdl_core.dir/fft.cpp.o.d"
+  "CMakeFiles/mdl_core.dir/random.cpp.o"
+  "CMakeFiles/mdl_core.dir/random.cpp.o.d"
+  "CMakeFiles/mdl_core.dir/serialize.cpp.o"
+  "CMakeFiles/mdl_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/mdl_core.dir/table.cpp.o"
+  "CMakeFiles/mdl_core.dir/table.cpp.o.d"
+  "CMakeFiles/mdl_core.dir/tensor.cpp.o"
+  "CMakeFiles/mdl_core.dir/tensor.cpp.o.d"
+  "CMakeFiles/mdl_core.dir/threadpool.cpp.o"
+  "CMakeFiles/mdl_core.dir/threadpool.cpp.o.d"
+  "libmdl_core.a"
+  "libmdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_data.dir/dataset.cpp.o"
+  "CMakeFiles/mdl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mdl_data.dir/keystroke.cpp.o"
+  "CMakeFiles/mdl_data.dir/keystroke.cpp.o.d"
+  "CMakeFiles/mdl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/mdl_data.dir/synthetic.cpp.o.d"
+  "libmdl_data.a"
+  "libmdl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federated/common.cpp" "src/federated/CMakeFiles/mdl_federated.dir/common.cpp.o" "gcc" "src/federated/CMakeFiles/mdl_federated.dir/common.cpp.o.d"
+  "/root/repo/src/federated/fedavg.cpp" "src/federated/CMakeFiles/mdl_federated.dir/fedavg.cpp.o" "gcc" "src/federated/CMakeFiles/mdl_federated.dir/fedavg.cpp.o.d"
+  "/root/repo/src/federated/selective_sgd.cpp" "src/federated/CMakeFiles/mdl_federated.dir/selective_sgd.cpp.o" "gcc" "src/federated/CMakeFiles/mdl_federated.dir/selective_sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

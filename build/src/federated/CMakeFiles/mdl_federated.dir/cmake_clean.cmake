@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_federated.dir/common.cpp.o"
+  "CMakeFiles/mdl_federated.dir/common.cpp.o.d"
+  "CMakeFiles/mdl_federated.dir/fedavg.cpp.o"
+  "CMakeFiles/mdl_federated.dir/fedavg.cpp.o.d"
+  "CMakeFiles/mdl_federated.dir/selective_sgd.cpp.o"
+  "CMakeFiles/mdl_federated.dir/selective_sgd.cpp.o.d"
+  "libmdl_federated.a"
+  "libmdl_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

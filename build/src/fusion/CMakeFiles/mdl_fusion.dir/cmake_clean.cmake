@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_fusion.dir/fusion.cpp.o"
+  "CMakeFiles/mdl_fusion.dir/fusion.cpp.o.d"
+  "libmdl_fusion.a"
+  "libmdl_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/mdl_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mdl_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/mdl_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/mdl_ml.dir/linear_models.cpp.o"
+  "CMakeFiles/mdl_ml.dir/linear_models.cpp.o.d"
+  "CMakeFiles/mdl_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/mdl_ml.dir/random_forest.cpp.o.d"
+  "libmdl_ml.a"
+  "libmdl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_mobile.dir/cost_model.cpp.o"
+  "CMakeFiles/mdl_mobile.dir/cost_model.cpp.o.d"
+  "libmdl_mobile.a"
+  "libmdl_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/mdl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/mdl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/mdl_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/mdl_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/mdl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/mdl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/mdl_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/mdl_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/mdl_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/mdl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/param_utils.cpp" "src/nn/CMakeFiles/mdl_nn.dir/param_utils.cpp.o" "gcc" "src/nn/CMakeFiles/mdl_nn.dir/param_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_nn.dir/activations.cpp.o"
+  "CMakeFiles/mdl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/mdl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/gru.cpp.o"
+  "CMakeFiles/mdl_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/init.cpp.o"
+  "CMakeFiles/mdl_nn.dir/init.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/linear.cpp.o"
+  "CMakeFiles/mdl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/loss.cpp.o"
+  "CMakeFiles/mdl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/lstm.cpp.o"
+  "CMakeFiles/mdl_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/metrics.cpp.o"
+  "CMakeFiles/mdl_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/module.cpp.o"
+  "CMakeFiles/mdl_nn.dir/module.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mdl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mdl_nn.dir/param_utils.cpp.o"
+  "CMakeFiles/mdl_nn.dir/param_utils.cpp.o.d"
+  "libmdl_nn.a"
+  "libmdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

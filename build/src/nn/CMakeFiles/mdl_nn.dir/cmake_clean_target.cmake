@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdl_nn.a"
+)

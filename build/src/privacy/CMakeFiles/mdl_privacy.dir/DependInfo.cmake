@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/accountant.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/accountant.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/accountant.cpp.o.d"
+  "/root/repo/src/privacy/dp_fedavg.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/dp_fedavg.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/dp_fedavg.cpp.o.d"
+  "/root/repo/src/privacy/dp_sgd.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/dp_sgd.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/dp_sgd.cpp.o.d"
+  "/root/repo/src/privacy/mechanisms.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/mechanisms.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/mechanisms.cpp.o.d"
+  "/root/repo/src/privacy/pate.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/pate.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/pate.cpp.o.d"
+  "/root/repo/src/privacy/sparse_vector.cpp" "src/privacy/CMakeFiles/mdl_privacy.dir/sparse_vector.cpp.o" "gcc" "src/privacy/CMakeFiles/mdl_privacy.dir/sparse_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federated/CMakeFiles/mdl_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_privacy.dir/accountant.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/accountant.cpp.o.d"
+  "CMakeFiles/mdl_privacy.dir/dp_fedavg.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/dp_fedavg.cpp.o.d"
+  "CMakeFiles/mdl_privacy.dir/dp_sgd.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/dp_sgd.cpp.o.d"
+  "CMakeFiles/mdl_privacy.dir/mechanisms.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/mdl_privacy.dir/pate.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/pate.cpp.o.d"
+  "CMakeFiles/mdl_privacy.dir/sparse_vector.cpp.o"
+  "CMakeFiles/mdl_privacy.dir/sparse_vector.cpp.o.d"
+  "libmdl_privacy.a"
+  "libmdl_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

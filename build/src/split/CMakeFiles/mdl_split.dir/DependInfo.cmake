@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/split/reconstruction.cpp" "src/split/CMakeFiles/mdl_split.dir/reconstruction.cpp.o" "gcc" "src/split/CMakeFiles/mdl_split.dir/reconstruction.cpp.o.d"
+  "/root/repo/src/split/split_inference.cpp" "src/split/CMakeFiles/mdl_split.dir/split_inference.cpp.o" "gcc" "src/split/CMakeFiles/mdl_split.dir/split_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/mdl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/federated/CMakeFiles/mdl_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

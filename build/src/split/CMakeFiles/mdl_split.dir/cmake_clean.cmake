@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_split.dir/reconstruction.cpp.o"
+  "CMakeFiles/mdl_split.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/mdl_split.dir/split_inference.cpp.o"
+  "CMakeFiles/mdl_split.dir/split_inference.cpp.o.d"
+  "libmdl_split.a"
+  "libmdl_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/mdl_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_compress.cpp" "tests/CMakeFiles/mdl_tests.dir/test_compress.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_compress.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/mdl_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_federated.cpp" "tests/CMakeFiles/mdl_tests.dir/test_federated.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_federated.cpp.o.d"
+  "/root/repo/tests/test_fft_circulant.cpp" "tests/CMakeFiles/mdl_tests.dir/test_fft_circulant.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_fft_circulant.cpp.o.d"
+  "/root/repo/tests/test_fusion.cpp" "tests/CMakeFiles/mdl_tests.dir/test_fusion.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_fusion.cpp.o.d"
+  "/root/repo/tests/test_gru.cpp" "tests/CMakeFiles/mdl_tests.dir/test_gru.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_gru.cpp.o.d"
+  "/root/repo/tests/test_int8.cpp" "tests/CMakeFiles/mdl_tests.dir/test_int8.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_int8.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mdl_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_keystroke.cpp" "tests/CMakeFiles/mdl_tests.dir/test_keystroke.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_keystroke.cpp.o.d"
+  "/root/repo/tests/test_loss_optim.cpp" "tests/CMakeFiles/mdl_tests.dir/test_loss_optim.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_loss_optim.cpp.o.d"
+  "/root/repo/tests/test_lstm.cpp" "tests/CMakeFiles/mdl_tests.dir/test_lstm.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_lstm.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mdl_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/mdl_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_mobile.cpp" "tests/CMakeFiles/mdl_tests.dir/test_mobile.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_mobile.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/mdl_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_param_utils.cpp" "tests/CMakeFiles/mdl_tests.dir/test_param_utils.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_param_utils.cpp.o.d"
+  "/root/repo/tests/test_pate_reconstruction.cpp" "tests/CMakeFiles/mdl_tests.dir/test_pate_reconstruction.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_pate_reconstruction.cpp.o.d"
+  "/root/repo/tests/test_privacy.cpp" "tests/CMakeFiles/mdl_tests.dir/test_privacy.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_privacy.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/mdl_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/mdl_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_split.cpp" "tests/CMakeFiles/mdl_tests.dir/test_split.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_split.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mdl_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/mdl_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_threadpool.cpp" "tests/CMakeFiles/mdl_tests.dir/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/mdl_tests.dir/test_threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mdl_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mdl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/federated/CMakeFiles/mdl_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/mdl_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mdl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/mdl_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobile/CMakeFiles/mdl_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mdl_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
