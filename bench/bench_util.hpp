@@ -1,22 +1,94 @@
 // Shared helpers for the experiment benches (bench/README in DESIGN.md).
+//
+// Besides the banner and MDL_QUICK workload scaling, every bench can emit
+// one machine-readable JSONL record per round/trial through an
+// obs::RunLogger. The sink is selected by `--json <path>` on the command
+// line or the MDL_JSON_OUT environment variable (the flag wins); with
+// neither, logging is a no-op and benches print only their usual tables.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_logger.hpp"
 
 namespace mdl::bench {
 
-/// Banner printed at the top of every experiment bench.
+namespace detail {
+
+inline std::string& experiment_id() {
+  static std::string id;
+  return id;
+}
+
+inline obs::RunLogger& logger() {
+  static obs::RunLogger instance;
+  return instance;
+}
+
+}  // namespace detail
+
+/// Banner printed at the top of every experiment bench. Also registers
+/// `experiment_id` as the "experiment" field of every JSONL record.
 inline void banner(const std::string& experiment_id,
                    const std::string& paper_artifact,
                    const std::string& description) {
+  detail::experiment_id() = experiment_id;
   std::cout << "==============================================================="
                "=\n"
             << experiment_id << " — " << paper_artifact << '\n'
             << description << '\n'
             << "==============================================================="
                "=\n\n";
+}
+
+/// Enables JSONL output when `--json <path>` was passed or MDL_JSON_OUT is
+/// set. Call once at the top of main(); safe to skip (logging stays off).
+inline void init_logging(int argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("MDL_JSON_OUT")) path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc)
+      path = argv[i + 1];
+  }
+  if (!path.empty()) detail::logger().open(path);
+}
+
+/// True when a JSONL sink is active.
+inline bool json_enabled() { return detail::logger().enabled(); }
+
+/// Starts a record pre-populated with the experiment id and event name
+/// ("round", "trial", ...). Add fields, then pass to log().
+inline obs::RunRecord record(const std::string& event) {
+  obs::RunRecord r;
+  r.add("experiment", detail::experiment_id()).add("event", event);
+  return r;
+}
+
+/// Writes one JSONL line (no-op without a sink).
+inline void log(const obs::RunRecord& r) { detail::logger().log(r); }
+
+/// Dumps the global metrics registry as JSONL "metric" records — call at
+/// the end of a bench so counters/histograms land next to the run records.
+inline void log_metrics_snapshot() {
+  if (!json_enabled()) return;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& c : snap.counters)
+    log(record("metric").add("name", c.name).add("value", c.value));
+  for (const auto& g : snap.gauges)
+    log(record("metric").add("name", g.name).add("value", g.value));
+  for (const auto& h : snap.histograms)
+    log(record("metric")
+            .add("name", h.name)
+            .add("count", h.count)
+            .add("sum", h.sum)
+            .add("p50", h.p50)
+            .add("p95", h.p95)
+            .add("p99", h.p99));
 }
 
 /// True when MDL_QUICK is set: benches shrink workloads (used in CI smoke

@@ -12,11 +12,12 @@
 #include "data/synthetic.hpp"
 #include "federated/selective_sgd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E1", "Fig. 1 (distributed selective SGD)",
                 "Accuracy vs gradient upload fraction theta and participant "
                 "count,\nagainst centralized and standalone baselines.");
+  bench::init_logging(argc, argv);
 
   Rng rng(314);
   data::SyntheticConfig sc;
@@ -62,6 +63,23 @@ int main() {
     cfg.download_fraction = theta < 1.0 ? theta * 2.0 : 1.0;
     federated::SelectiveSGDTrainer trainer(factory, shards, cfg);
     const auto history = trainer.run(split.test);
+    for (const federated::RoundStats& rs : history)
+      bench::log(bench::record("round")
+                     .add("participants", static_cast<std::int64_t>(participants))
+                     .add("theta_u", theta)
+                     .add("round", rs.round)
+                     .add("test_accuracy", rs.test_accuracy)
+                     .add("train_loss", rs.train_loss)
+                     .add("cumulative_bytes", rs.cumulative_bytes));
+    bench::log(bench::record("trial")
+                   .add("participants", static_cast<std::int64_t>(participants))
+                   .add("theta_u", theta)
+                   .add("global_accuracy", history.back().test_accuracy)
+                   .add("participant0_accuracy",
+                        trainer.participant_accuracy(0, split.test))
+                   .add("total_bytes", trainer.ledger().total())
+                   .add("centralized_accuracy", centralized_acc)
+                   .add("standalone_accuracy", standalone_acc));
     table.begin_row()
         .add(static_cast<std::int64_t>(participants))
         .add(theta, 2)
@@ -81,6 +99,13 @@ int main() {
     cfg.download_fraction = 0.2;
     federated::SelectiveSGDTrainer trainer(factory, n_shards, cfg);
     const auto history = trainer.run(split.test);
+    bench::log(bench::record("trial")
+                   .add("participants", static_cast<std::int64_t>(n))
+                   .add("theta_u", 0.1)
+                   .add("global_accuracy", history.back().test_accuracy)
+                   .add("participant0_accuracy",
+                        trainer.participant_accuracy(0, split.test))
+                   .add("total_bytes", trainer.ledger().total()));
     table.begin_row()
         .add(static_cast<std::int64_t>(n))
         .add(0.1, 2)
@@ -93,5 +118,6 @@ int main() {
   std::cout << "\nShape targets: theta = 0.1 approaches the centralized "
                "bound; every setting beats standalone ("
             << standalone_acc * 100.0 << "%).\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

@@ -10,12 +10,13 @@
 #include "data/synthetic.hpp"
 #include "federated/fedavg.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E2", "§II-B (FedAvg vs FedSGD communication)",
                 "Rounds and bytes to reach the target accuracy, non-IID "
                 "shards\n(paper claim: 10-100x less communication for "
                 "federated averaging).");
+  bench::init_logging(argc, argv);
 
   Rng rng(271);
   data::SyntheticConfig sc;
@@ -56,6 +57,22 @@ int main() {
     const std::uint64_t bytes = trainer.ledger().total();
     if (s.fedsgd) fedsgd_bytes = bytes;
 
+    const char* scheme = s.fedsgd ? "FedSGD" : "FedAvg";
+    for (const federated::RoundStats& rs : history)
+      bench::log(bench::record("round")
+                     .add("scheme", scheme)
+                     .add("local_epochs", s.local_epochs)
+                     .add("round", rs.round)
+                     .add("test_accuracy", rs.test_accuracy)
+                     .add("train_loss", rs.train_loss)
+                     .add("cumulative_bytes", rs.cumulative_bytes));
+    bench::log(bench::record("trial")
+                   .add("scheme", scheme)
+                   .add("local_epochs", s.local_epochs)
+                   .add("rounds", history.back().round)
+                   .add("total_bytes", bytes)
+                   .add("final_accuracy", history.back().test_accuracy));
+
     table.begin_row()
         .add(s.fedsgd ? "FedSGD" : "FedAvg")
         .add(s.local_epochs)
@@ -74,5 +91,6 @@ int main() {
   std::cout << "\nShape target: FedAvg with E >= 5 reaches the target with "
                ">= 10x fewer bytes than FedSGD;\nlarger E keeps helping "
                "until client drift sets in.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

@@ -44,11 +44,12 @@ double averaged_eval(split::SplitInference& sys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E4", "Fig. 3 + §III-A (private split inference)",
                 "Accuracy under nullification + Laplace perturbation, with "
                 "and without noisy training;\nuplink bytes of representation "
                 "vs raw input.");
+  bench::init_logging(argc, argv);
 
   Rng rng(421);
   data::SyntheticConfig sc;
@@ -102,14 +103,18 @@ int main() {
     standard.train_cloud(split_ds.train, cfg, false, epochs, 32, 0.1, ta);
     noisy.train_cloud(split_ds.train, cfg, true, epochs, 32, 0.1, tb);
 
+    const double standard_acc =
+        averaged_eval(standard, split_ds.test, cfg, eval_reps);
+    const double noisy_acc =
+        averaged_eval(noisy, split_ds.test, cfg, eval_reps);
+
     table.begin_row().add(s.mu, 1).add(s.scale, 1);
     if (s.scale <= 0.0) {
       table.add("inf");
     } else {
       table.add(cfg.per_coordinate_epsilon(), 1);
     }
-    table.add_percent(averaged_eval(standard, split_ds.test, cfg, eval_reps))
-        .add_percent(averaged_eval(noisy, split_ds.test, cfg, eval_reps));
+    table.add_percent(standard_acc).add_percent(noisy_acc);
 
     // Privacy side of the trade-off: how well can an attacker with query
     // access reconstruct the raw input from what the phone transmits?
@@ -118,6 +123,15 @@ int main() {
     const auto attack = split::reconstruction_attack(
         noisy, split_ds.train, split_ds.test, cfg, ac);
     table.add(attack.relative_error, 2);
+
+    bench::log(bench::record("trial")
+                   .add("nullification_rate", s.mu)
+                   .add("laplace_scale", s.scale)
+                   .add("epsilon_per_coordinate",
+                        cfg.per_coordinate_epsilon())
+                   .add("accuracy_standard", standard_acc)
+                   .add("accuracy_noisy_training", noisy_acc)
+                   .add("attack_relative_error", attack.relative_error));
   }
   table.print(std::cout);
 
@@ -126,5 +140,6 @@ int main() {
                "attacker's reconstruction error (1.0 = learned\nnothing) "
                "rises with the perturbation — the privacy/utility dial of "
                "Fig. 3.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

@@ -49,11 +49,12 @@ apps::EvalResult eval_deepmood(data::MultiViewDataset train,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E6", "Fig. 4 + §IV-A",
                 "DeepMood: session-level mood-disturbance prediction from "
                 "typing dynamics,\nfusion-layer ablation (fc/fm/mvm) vs "
                 "shallow and ensemble baselines.");
+  bench::init_logging(argc, argv);
 
   // Cohort sized after the BiAffect analysis subset: 20 participants
   // contributing many short sessions.
@@ -80,10 +81,16 @@ int main() {
   const data::TabularDataset test_f = to_session_features(split.test);
   const auto add_baseline = [&](ml::Classifier& clf, const char* paper_note) {
     clf.fit(train_f);
+    const double acc = ml::evaluate_accuracy(clf, test_f);
+    const double f1 = ml::evaluate_macro_f1(clf, test_f);
+    bench::log(bench::record("trial")
+                   .add("method", clf.name())
+                   .add("accuracy", acc)
+                   .add("macro_f1", f1));
     table.begin_row()
         .add(clf.name())
-        .add_percent(ml::evaluate_accuracy(clf, test_f))
-        .add_percent(ml::evaluate_macro_f1(clf, test_f))
+        .add_percent(acc)
+        .add_percent(f1)
         .add(paper_note);
   };
   ml::LogisticRegression lr;
@@ -102,6 +109,10 @@ int main() {
                           fusion::FusionKind::kMultiviewMachine}) {
     const apps::EvalResult r =
         eval_deepmood(split.train, split.test, kind, epochs);
+    bench::log(bench::record("trial")
+                   .add("method", "DeepMood(" + fusion::to_string(kind) + ")")
+                   .add("accuracy", r.accuracy)
+                   .add("macro_f1", r.macro_f1));
     table.begin_row()
         .add("DeepMood(" + fusion::to_string(kind) + ")")
         .add_percent(r.accuracy)
@@ -113,6 +124,10 @@ int main() {
       eval_deepmood(split.train, split.test,
                     fusion::FusionKind::kFactorizationMachine, epochs,
                     /*bidirectional=*/true);
+  bench::log(bench::record("trial")
+                 .add("method", "DeepMood(fm, bidir)")
+                 .add("accuracy", bi.accuracy)
+                 .add("macro_f1", bi.macro_f1));
   table.begin_row()
       .add("DeepMood(fm, bidir)")
       .add_percent(bi.accuracy)
@@ -123,6 +138,10 @@ int main() {
   const apps::EvalResult lstm_r = eval_deepmood(
       split.train, split.test, fusion::FusionKind::kFactorizationMachine,
       epochs, /*bidirectional=*/false, apps::EncoderKind::kLstm);
+  bench::log(bench::record("trial")
+                 .add("method", "DeepMood(fm, LSTM)")
+                 .add("accuracy", lstm_r.accuracy)
+                 .add("macro_f1", lstm_r.macro_f1));
   table.begin_row()
       .add("DeepMood(fm, LSTM)")
       .add_percent(lstm_r.accuracy)
@@ -132,5 +151,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape targets: every DeepMood variant beats XGBoost, which "
                "beats LR/SVM by a wide margin.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

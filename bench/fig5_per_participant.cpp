@@ -13,12 +13,13 @@
 #include "core/table.hpp"
 #include "data/keystroke.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E7", "Fig. 5",
                 "Per-participant mood prediction accuracy vs number of "
                 "contributed training sessions\n(20 simulated participants, "
                 "one global DeepMood model).");
+  bench::init_logging(argc, argv);
 
   // Session counts spread like the BiAffect cohort: a few heavy users,
   // many light ones.
@@ -75,9 +76,14 @@ int main() {
             [](const Point& a, const Point& b) { return a.sessions < b.sessions; });
 
   TablePrinter table({"participant", "train sessions", "accuracy"});
-  for (const Point& p : points)
+  for (const Point& p : points) {
+    bench::log(bench::record("trial")
+                   .add("participant", p.participant)
+                   .add("train_sessions", p.sessions)
+                   .add("accuracy", p.accuracy));
     table.begin_row().add(p.participant).add(p.sessions).add_percent(
         p.accuracy);
+  }
   table.print(std::cout);
 
   // Summarize the knee the paper highlights.
@@ -101,5 +107,6 @@ int main() {
   }
   std::cout << "\nShape target: accuracy rises with contributed sessions "
                "(paper: steady >= 87% beyond ~400 sessions).\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

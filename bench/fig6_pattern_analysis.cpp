@@ -14,11 +14,12 @@
 #include "core/table.hpp"
 #include "data/keystroke.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E8", "Fig. 6",
                 "Multi-view pattern analysis of the top-5 active users: "
                 "per-user feature statistics in all three views.");
+  bench::init_logging(argc, argv);
 
   data::KeystrokeSimulator sim;
   Rng rng(66);
@@ -61,6 +62,16 @@ int main() {
   print_panel("Symbol/Number view (per-session frequency):", {9, 10, 11, 12});
   print_panel("Acceleration view (g):", {15, 16, 17, 18, 21, 22, 23});
 
+  for (std::size_t u = 0; u < 5; ++u) {
+    auto rec = bench::record("user_stats");
+    rec.add("user", static_cast<std::int64_t>(u));
+    for (const std::size_t j : {0UL, 1UL, 2UL, 3UL, 8UL, 9UL, 10UL, 11UL,
+                                12UL, 15UL, 16UL, 17UL, 18UL, 21UL, 22UL,
+                                23UL})
+      rec.add(names[j], mean[u][j]);
+    bench::log(rec);
+  }
+
   // "Well separated": nearest-centroid identification from these per-user
   // patterns should be far above the 20% chance level.
   std::vector<double> sd(static_cast<std::size_t>(dim), 0.0);
@@ -95,11 +106,15 @@ int main() {
     if (static_cast<std::int64_t>(arg) == feats.labels[static_cast<std::size_t>(i)])
       ++correct;
   }
+  const double ident_acc =
+      static_cast<double>(correct) / static_cast<double>(feats.size());
+  bench::log(bench::record("trial")
+                 .add("identification_accuracy", ident_acc)
+                 .add("chance", 0.2));
   std::cout << "nearest-pattern identification accuracy over sessions: "
-            << static_cast<double>(correct) /
-                   static_cast<double>(feats.size()) * 100.0
-            << "% (chance 20%)\n";
+            << ident_acc * 100.0 << "% (chance 20%)\n";
   std::cout << "\nShape target: distinct per-user patterns in every view — "
                "\"the top 5 active users can be well separated\".\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

@@ -4,6 +4,10 @@
 // tree-ensemble prediction.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "compress/huffman.hpp"
 #include "compress/prune.hpp"
 #include "compress/quantize.hpp"
@@ -151,6 +155,51 @@ void BM_ForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredict);
 
+/// Console reporter that additionally logs one JSONL record per benchmark
+/// run when `--json` / MDL_JSON_OUT is active.
+class JsonlReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      auto rec = bench::record("kernel");
+      rec.add("name", run.benchmark_name());
+      rec.add("iterations", static_cast<std::int64_t>(run.iterations));
+      rec.add("real_time_ns", run.GetAdjustedRealTime());
+      rec.add("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [cname, counter] : run.counters)
+        rec.add(cname, static_cast<double>(counter));
+      bench::log(rec);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mdl::bench::banner("E12", "supporting microbenchmarks",
+                     "Numeric-kernel timings (matmul, GRU, sparse matvec, "
+                     "Huffman, quantization,\nforest prediction) via "
+                     "google-benchmark.");
+  mdl::bench::init_logging(argc, argv);
+  // Strip the flags google-benchmark does not understand before handing
+  // argv over to it.
+  std::vector<char*> bm_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    bm_args.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data()))
+    return 1;
+  JsonlReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mdl::bench::log_metrics_snapshot();
+  return 0;
+}

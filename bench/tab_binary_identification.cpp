@@ -13,11 +13,12 @@
 #include "core/table.hpp"
 #include "data/keystroke.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E10", "§IV-B binary identification",
                 "Two-user identification accuracy averaged over random user "
                 "pairs\n(paper: 99.1% accuracy / 98.97% F1 on average).");
+  bench::init_logging(argc, argv);
 
   data::KeystrokeConfig kc;
   kc.alnum_len = 24;
@@ -74,6 +75,11 @@ int main() {
     trainer.train(split.train);
     const apps::EvalResult r = trainer.evaluate(split.test);
 
+    bench::log(bench::record("trial")
+                   .add("user_a", a)
+                   .add("user_b", b)
+                   .add("accuracy", r.accuracy)
+                   .add("macro_f1", r.macro_f1));
     table.begin_row()
         .add("user" + std::to_string(a) + " vs user" + std::to_string(b))
         .add_percent(r.accuracy)
@@ -82,6 +88,12 @@ int main() {
     f1_sum += r.macro_f1;
   }
 
+  bench::log(bench::record("summary")
+                 .add("pairs", num_pairs)
+                 .add("mean_accuracy",
+                      acc_sum / static_cast<double>(num_pairs))
+                 .add("mean_macro_f1",
+                      f1_sum / static_cast<double>(num_pairs)));
   table.begin_row()
       .add("AVERAGE (paper: 99.10% / 98.97%)")
       .add_percent(acc_sum / static_cast<double>(num_pairs))
@@ -89,5 +101,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape target: binary identification is near-perfect for "
                "essentially every pair.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

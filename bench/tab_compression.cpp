@@ -52,11 +52,12 @@ void finetune_pruned(nn::Sequential& model, const data::TabularDataset& train,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E5", "§III-B (model compression)",
                 "Deep Compression (prune -> weight share -> Huffman), "
                 "low-rank factorization,\nand distillation: storage vs "
                 "accuracy with byte-exact accounting.");
+  bench::init_logging(argc, argv);
 
   Rng rng(512);
   data::SyntheticConfig sc;
@@ -98,6 +99,16 @@ int main() {
       Rng r_rng(3);
       auto restored = factory(r_rng);
       artifact.restore_into(*restored);
+      bench::log(bench::record("trial")
+                     .add("method", "deep_compression")
+                     .add("sparsity", sparsity)
+                     .add("bits", bits)
+                     .add("compressed_bytes", artifact.compressed_bytes())
+                     .add("ratio",
+                          static_cast<double>(dense_bytes) /
+                              static_cast<double>(artifact.compressed_bytes()))
+                     .add("accuracy", federated::evaluate_accuracy(
+                                          *restored, split.test)));
       dc_table.begin_row()
           .add(sparsity, 1)
           .add(static_cast<std::int64_t>(bits))
@@ -117,6 +128,12 @@ int main() {
   for (const std::int64_t rank : {4, 8, 16}) {
     Rng f_rng(4);
     auto factored = compress::low_rank_factorize_mlp(*reference, rank, f_rng);
+    bench::log(bench::record("trial")
+                   .add("method", "low_rank")
+                   .add("rank", rank)
+                   .add("storage_bytes", compress::model_dense_bytes(*factored))
+                   .add("accuracy", federated::evaluate_accuracy(
+                                        *factored, split.test)));
     lr_table.begin_row()
         .add(rank)
         .add(factored->param_count())
@@ -137,10 +154,15 @@ int main() {
     for (std::size_t i = 0; i < deployed->size(); ++i)
       if (auto* q = dynamic_cast<compress::Int8Linear*>(&deployed->layer(i)))
         int8_bytes += q->storage_bytes();
+    const double int8_acc = federated::evaluate_accuracy(*deployed, split.test);
+    bench::log(bench::record("trial")
+                   .add("method", "int8")
+                   .add("storage_bytes", int8_bytes)
+                   .add("accuracy", int8_acc));
     int8_table.begin_row()
         .add("int8 weights + dynamic activations")
         .add(format_bytes(int8_bytes))
-        .add_percent(federated::evaluate_accuracy(*deployed, split.test));
+        .add_percent(int8_acc);
     int8_table.print(std::cout);
   }
 
@@ -163,12 +185,21 @@ int main() {
     Rng ft2(7);
     federated::local_sgd(circ_model, split.train, bench::scaled(8, 3), 32,
                          0.05, ft2);
+    const double finetuned_acc =
+        federated::evaluate_accuracy(circ_model, split.test);
+    bench::log(bench::record("trial")
+                   .add("method", "block_circulant")
+                   .add("block", block)
+                   .add("storage_bytes",
+                        compress::model_dense_bytes(circ_model))
+                   .add("accuracy_projected", projected_acc)
+                   .add("accuracy_finetuned", finetuned_acc));
     circ_table.begin_row()
         .add(block)
         .add(circ_model.param_count())
         .add(format_bytes(compress::model_dense_bytes(circ_model)))
         .add_percent(projected_acc)
-        .add_percent(federated::evaluate_accuracy(circ_model, split.test));
+        .add_percent(finetuned_acc);
   }
   circ_table.print(std::cout);
 
@@ -181,6 +212,12 @@ int main() {
     dc.epochs = bench::scaled(25, 8);
     const double acc = compress::distill(*reference, *student, split.train,
                                          split.test, dc);
+    bench::log(bench::record("trial")
+                   .add("method", "distill")
+                   .add("student_hidden", hidden)
+                   .add("storage_bytes",
+                        compress::model_dense_bytes(*student))
+                   .add("accuracy", acc));
     kd_table.begin_row()
         .add(hidden)
         .add(format_bytes(compress::model_dense_bytes(*student)))
@@ -192,5 +229,6 @@ int main() {
                "<= 6-bit codebooks + Huffman\nreaches tens-of-x compression "
                "at <= 1-2 points of accuracy; low-rank and distillation\n"
                "trade storage for accuracy smoothly.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

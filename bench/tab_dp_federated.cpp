@@ -14,11 +14,12 @@
 #include "privacy/dp_sgd.hpp"
 #include "privacy/pate.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdl;
   bench::banner("E3", "§II-C (differentially private training)",
                 "User-level DP-FedAvg and example-level DP-SGD: accuracy vs "
                 "privacy budget\n(moments accountant, delta = 1e-5).");
+  bench::init_logging(argc, argv);
 
   Rng rng(161);
   data::SyntheticConfig sc;
@@ -50,6 +51,18 @@ int main() {
     cfg.noise_multiplier = z;
     privacy::DpFedAvgTrainer trainer(factory, shards, cfg);
     const auto history = trainer.run(split.test);
+    for (const auto& rs : history)
+      bench::log(bench::record("round")
+                     .add("method", "dp_fedavg")
+                     .add("noise_multiplier", z)
+                     .add("round", rs.round)
+                     .add("test_accuracy", rs.test_accuracy)
+                     .add("epsilon", rs.epsilon));
+    bench::log(bench::record("trial")
+                   .add("method", "dp_fedavg")
+                   .add("noise_multiplier", z)
+                   .add("final_accuracy", history.back().test_accuracy)
+                   .add("epsilon", history.back().epsilon));
     fed_table.begin_row()
         .add(z, 1)
         .add_percent(history.back().test_accuracy);
@@ -74,6 +87,12 @@ int main() {
     cfg.lr = 0.25;
     const privacy::DpSgdResult r =
         privacy::train_dp_sgd(*model, split.train, split.test, cfg);
+    bench::log(bench::record("trial")
+                   .add("method", "dp_sgd")
+                   .add("noise_multiplier", z)
+                   .add("final_accuracy", r.test_accuracy)
+                   .add("epsilon", r.epsilon)
+                   .add("steps", r.steps));
     sgd_table.begin_row().add(z, 1).add_percent(r.test_accuracy);
     if (std::isinf(r.epsilon)) {
       sgd_table.add("inf (non-private)");
@@ -99,6 +118,12 @@ int main() {
     pc.noise_scale = b;
     const privacy::PateResult r = privacy::run_pate(
         factory, pate_split.train, pate_split.test, split.test, pc);
+    bench::log(bench::record("trial")
+                   .add("method", "pate")
+                   .add("noise_scale", b)
+                   .add("epsilon_per_query", 2.0 / b)
+                   .add("label_agreement", r.label_agreement)
+                   .add("student_accuracy", r.student_accuracy));
     pate_table.begin_row()
         .add(b, 1)
         .add(2.0 / b, 2)
@@ -111,5 +136,6 @@ int main() {
                "at single-digit epsilon;\naccuracy decays and epsilon "
                "shrinks monotonically as z grows; PATE students track\n"
                "teacher consensus until the vote noise drowns the margin.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

@@ -48,11 +48,12 @@ const char* winner(double device, double cloud, double split) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E11", "§III (where should inference run?)",
                 "Latency / phone-energy of on-device, cloud, and split "
                 "deployments across uplink\nbandwidths, for three model "
                 "scales.");
+  bench::init_logging(argc, argv);
 
   // DEEPSERVICE: count real FLOPs/bytes from the real network.
   data::KeystrokeSimulator sim;
@@ -112,6 +113,17 @@ int main() {
       const auto split = planner.split(m.local_flops, m.rep_bytes,
                                        m.total_flops - m.local_flops,
                                        m.output_bytes);
+      bench::log(bench::record("trial")
+                     .add("model", m.name)
+                     .add("uplink_mbps", mbps)
+                     .add("device_ms", device.latency_s * 1e3)
+                     .add("device_mj", device.device_energy_j * 1e3)
+                     .add("cloud_ms", cloud.latency_s * 1e3)
+                     .add("cloud_mj", cloud.device_energy_j * 1e3)
+                     .add("split_ms", split.latency_s * 1e3)
+                     .add("split_mj", split.device_energy_j * 1e3)
+                     .add("winner", winner(device.latency_s, cloud.latency_s,
+                                           split.latency_s)));
       table.begin_row()
           .add(mbps_str(mbps))
           .add(device.latency_s * 1e3, 2)
@@ -140,6 +152,16 @@ int main() {
   const auto ss = sensor.split(mn.local_flops, mn.rep_bytes,
                                mn.total_flops - mn.local_flops,
                                mn.output_bytes);
+  bench::log(bench::record("trial")
+                 .add("model", "MobileNet-class (embedded sensor, LTE)")
+                 .add("device_ms", sd.latency_s * 1e3)
+                 .add("device_mj", sd.device_energy_j * 1e3)
+                 .add("cloud_ms", sc.latency_s * 1e3)
+                 .add("cloud_mj", sc.device_energy_j * 1e3)
+                 .add("split_ms", ss.latency_s * 1e3)
+                 .add("split_mj", ss.device_energy_j * 1e3)
+                 .add("winner",
+                      winner(sd.latency_s, sc.latency_s, ss.latency_s)));
   st.begin_row().add("on-device").add(sd.latency_s * 1e3, 1).add(
       sd.device_energy_j * 1e3, 2);
   st.begin_row().add("cloud").add(sc.latency_s * 1e3, 1).add(
@@ -152,5 +174,6 @@ int main() {
                "models move to the cloud as\nbandwidth grows (crossover "
                "visible in the VGG-class table); the sensor node cannot\n"
                "afford heavy on-device inference at all.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

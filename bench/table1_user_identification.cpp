@@ -129,10 +129,11 @@ std::vector<Result> run_for_users(std::int64_t users) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E9", "Table I",
                 "N-way user identification from keystroke dynamics: "
                 "DEEPSERVICE vs LR/SVM/DT/RF/XGBoost at 10 and 26 users.");
+  bench::init_logging(argc, argv);
 
   const auto r10 = run_for_users(10);
   const auto r26 = run_for_users(26);
@@ -140,6 +141,14 @@ int main() {
   TablePrinter table({"Method", "Acc@10", "F1@10", "Acc@26", "F1@26",
                       "paper Acc@10", "paper Acc@26"});
   for (std::size_t i = 0; i < r10.size(); ++i) {
+    bench::log(bench::record("trial")
+                   .add("method", kPaper[i].method)
+                   .add("accuracy_10", r10[i].accuracy)
+                   .add("f1_10", r10[i].f1)
+                   .add("accuracy_26", r26[i].accuracy)
+                   .add("f1_26", r26[i].f1)
+                   .add("paper_accuracy_10", kPaper[i].acc10)
+                   .add("paper_accuracy_26", kPaper[i].acc26));
     table.begin_row()
         .add(kPaper[i].method)
         .add_percent(r10[i].accuracy)
@@ -154,5 +163,6 @@ int main() {
   std::cout << "\nShape targets: DEEPSERVICE tops both columns; ensembles "
                "(RF/XGBoost) beat single\ntrees beat linear models; every "
                "method degrades from 10 to 26 users.\n";
+  bench::log_metrics_snapshot();
   return 0;
 }

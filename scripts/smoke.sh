@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke run: configure, build, run the unit tests, then every bench in
+# MDL_QUICK mode with JSONL output enabled. Fails on the first error.
+#
+# Usage: scripts/smoke.sh [build-dir]
+#   MDL_SANITIZE=address,undefined scripts/smoke.sh build-asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-smoke}"
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release)
+if [[ -n "${MDL_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=("-DMDL_SANITIZE=${MDL_SANITIZE}")
+fi
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+OUT_DIR="$BUILD_DIR/smoke-jsonl"
+mkdir -p "$OUT_DIR"
+BENCHES=(
+  fig1_selective_sgd
+  fig2_fedavg_communication
+  tab_dp_federated
+  fig3_split_inference
+  tab_compression
+  fig4_deepmood_fusion
+  fig5_per_participant
+  fig6_pattern_analysis
+  table1_user_identification
+  tab_binary_identification
+  tab_mobile_inference
+)
+for bench in "${BENCHES[@]}"; do
+  echo "=== $bench (MDL_QUICK=1) ==="
+  MDL_QUICK=1 "$BUILD_DIR/bench/$bench" --json "$OUT_DIR/$bench.jsonl"
+  [[ -s "$OUT_DIR/$bench.jsonl" ]] || {
+    echo "error: $bench wrote no JSONL records" >&2
+    exit 1
+  }
+done
+
+echo "=== micro_kernels (filtered) ==="
+MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
+  --json "$OUT_DIR/micro_kernels.jsonl" \
+  --benchmark_filter='BM_DenseMatvec|BM_GruStep/1' \
+  --benchmark_min_time=0.01
+
+echo "smoke OK: JSONL records in $OUT_DIR"

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+
+#include "obs/metrics.hpp"
 
 namespace mdl {
 
@@ -30,6 +33,8 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
     std::lock_guard lock(mu_);
     jobs_.push(std::move(task));
   }
+  MDL_OBS_COUNTER_ADD("threadpool.tasks_submitted", 1);
+  MDL_OBS_GAUGE_ADD("threadpool.queue_depth", 1.0);
   cv_.notify_one();
   return fut;
 }
@@ -44,7 +49,12 @@ void ThreadPool::worker_loop() {
       task = std::move(jobs_.front());
       jobs_.pop();
     }
-    task();
+    MDL_OBS_GAUGE_ADD("threadpool.queue_depth", -1.0);
+    {
+      MDL_OBS_TIMER_US("threadpool.task_us");
+      task();  // exceptions land in the packaged_task's future
+    }
+    MDL_OBS_COUNTER_ADD("threadpool.tasks_completed", 1);
   }
 }
 
@@ -55,19 +65,37 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   const std::size_t workers = std::min(pool->num_threads(), n);
   std::vector<std::future<void>> futs;
   futs.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     futs.push_back(pool->submit([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1);
         if (i >= n) return;
-        f(i);
+        try {
+          f(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;  // lands in this worker's future
+        }
       }
     }));
   }
-  for (auto& fut : futs) fut.get();
+  // Drain EVERY future before leaving the scope — the workers capture
+  // `next`, `failed`, and `f` by reference — and surface the first worker
+  // exception to the caller instead of swallowing it.
+  std::exception_ptr first_error;
+  for (auto& fut : futs) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace mdl

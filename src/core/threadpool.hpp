@@ -18,6 +18,10 @@
 namespace mdl {
 
 /// Fixed pool of worker threads executing queued std::function jobs.
+///
+/// Exports metrics through mdl::obs (no-ops under MDL_OBS_DISABLED):
+/// counters `threadpool.tasks_submitted` / `threadpool.tasks_completed`,
+/// gauge `threadpool.queue_depth`, histogram `threadpool.task_us`.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; defaults to hardware concurrency).
@@ -44,6 +48,9 @@ class ThreadPool {
 
 /// Runs f(i) for i in [0, n) across `pool`'s workers, blocking until all
 /// iterations finish. With a null pool or a single worker, runs inline.
+/// If any iteration throws, remaining iterations are abandoned (workers
+/// stop claiming new indices), all workers are drained, and the first
+/// exception is rethrown to the caller.
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& f);
 

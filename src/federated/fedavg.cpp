@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mdl::federated {
 
 FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
@@ -32,6 +35,9 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
   const auto worker_params = worker_->parameters();
 
   for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    MDL_OBS_SPAN("fedavg.round");
+    const std::uint64_t bytes_up_before = ledger_.bytes_up;
+    const std::uint64_t bytes_down_before = ledger_.bytes_down;
     const std::vector<float> w_global = nn::flatten_values(global_params);
     const auto selected = rng_.sample_without_replacement(
         shards_.size(), static_cast<std::size_t>(config_.clients_per_round));
@@ -43,6 +49,7 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     double round_loss = 0.0;
 
     for (const std::size_t k : selected) {
+      MDL_OBS_SPAN("client_update");  // nests as fedavg.round/client_update
       // Download current global model to the participant.
       nn::unflatten_into_values(w_global, worker_params);
       ledger_.dense_down(w_global.size());
@@ -87,6 +94,13 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     stats.test_accuracy = evaluate_accuracy(*global_, test);
     stats.cumulative_bytes = ledger_.total();
     history.push_back(stats);
+
+    MDL_OBS_COUNTER_ADD("fedavg.rounds", 1);
+    MDL_OBS_COUNTER_ADD("fedavg.bytes_up", ledger_.bytes_up - bytes_up_before);
+    MDL_OBS_COUNTER_ADD("fedavg.bytes_down",
+                        ledger_.bytes_down - bytes_down_before);
+    MDL_OBS_GAUGE_SET("fedavg.test_accuracy", stats.test_accuracy);
+    MDL_OBS_GAUGE_SET("fedavg.train_loss", stats.train_loss);
 
     if (config_.target_accuracy > 0.0 &&
         stats.test_accuracy >= config_.target_accuracy)

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mdl::federated {
 
 SelectiveSGDTrainer::SelectiveSGDTrainer(
@@ -44,8 +47,12 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
   std::vector<std::size_t> order(p_count);
 
   for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+    MDL_OBS_SPAN("selective_sgd.round");
+    const std::uint64_t bytes_up_before = ledger_.bytes_up;
+    const std::uint64_t bytes_down_before = ledger_.bytes_down;
     double round_loss = 0.0;
     for (std::size_t k = 0; k < shards_.size(); ++k) {
+      MDL_OBS_SPAN("participant_update");
       std::vector<float>& local = locals_[k];
       std::uint32_t* seen = seen_version_.data() + k * p_count;
 
@@ -110,6 +117,14 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     stats.test_accuracy = evaluate_accuracy(*eval_model_, test);
     stats.cumulative_bytes = ledger_.total();
     history.push_back(stats);
+
+    MDL_OBS_COUNTER_ADD("selective_sgd.rounds", 1);
+    MDL_OBS_COUNTER_ADD("selective_sgd.bytes_up",
+                        ledger_.bytes_up - bytes_up_before);
+    MDL_OBS_COUNTER_ADD("selective_sgd.bytes_down",
+                        ledger_.bytes_down - bytes_down_before);
+    MDL_OBS_GAUGE_SET("selective_sgd.test_accuracy", stats.test_accuracy);
+    MDL_OBS_GAUGE_SET("selective_sgd.train_loss", stats.train_loss);
   }
   return history;
 }

@@ -1,6 +1,8 @@
 #include "mobile/cost_model.hpp"
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mdl::mobile {
 
@@ -50,6 +52,8 @@ double InferencePlanner::server_compute_s(std::int64_t flops) const {
 }
 
 CostEstimate InferencePlanner::on_device(std::int64_t flops) const {
+  MDL_OBS_SPAN("mobile.plan_on_device");
+  MDL_OBS_COUNTER_ADD("mobile.plans_evaluated", 1);
   CostEstimate c;
   c.latency_s = device_compute_s(flops);
   c.device_energy_j = c.latency_s * device_.compute_watts;
@@ -59,6 +63,8 @@ CostEstimate InferencePlanner::on_device(std::int64_t flops) const {
 CostEstimate InferencePlanner::on_cloud(std::uint64_t input_bytes,
                                         std::int64_t flops,
                                         std::uint64_t output_bytes) const {
+  MDL_OBS_SPAN("mobile.plan_on_cloud");
+  MDL_OBS_COUNTER_ADD("mobile.plans_evaluated", 1);
   CostEstimate c;
   const double up = network_.upload_time_s(input_bytes);
   const double down = network_.download_time_s(output_bytes);
@@ -75,6 +81,8 @@ CostEstimate InferencePlanner::split(std::int64_t local_flops,
                                      std::uint64_t rep_bytes,
                                      std::int64_t cloud_flops,
                                      std::uint64_t output_bytes) const {
+  MDL_OBS_SPAN("mobile.plan_split");
+  MDL_OBS_COUNTER_ADD("mobile.plans_evaluated", 1);
   CostEstimate c;
   const double local = device_compute_s(local_flops);
   const double up = network_.upload_time_s(rep_bytes);

@@ -1,0 +1,91 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace mdl::obs {
+
+void write_snapshot_jsonl(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const CounterSnapshot& c : snap.counters) {
+    os << "{\"kind\":\"counter\",\"name\":\"" << json_escape(c.name)
+       << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    os << "{\"kind\":\"gauge\",\"name\":\"" << json_escape(g.name)
+       << "\",\"value\":" << json_number(g.value) << "}\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    os << "{\"kind\":\"histogram\",\"name\":\"" << json_escape(h.name)
+       << "\",\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+       << ",\"p50\":" << json_number(h.p50)
+       << ",\"p95\":" << json_number(h.p95)
+       << ",\"p99\":" << json_number(h.p99) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":"
+         << (i < h.bounds.size() ? json_number(h.bounds[i]) : "null")
+         << ",\"count\":" << h.buckets[i] << '}';
+    }
+    os << "]}\n";
+  }
+}
+
+std::string snapshot_to_jsonl(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  write_snapshot_jsonl(snap, os);
+  return os.str();
+}
+
+namespace {
+
+std::size_t longest_name(const MetricsSnapshot& snap) {
+  std::size_t w = 0;
+  for (const auto& c : snap.counters) w = std::max(w, c.name.size());
+  for (const auto& g : snap.gauges) w = std::max(w, g.name.size());
+  for (const auto& h : snap.histograms) w = std::max(w, h.name.size());
+  return w;
+}
+
+}  // namespace
+
+void write_snapshot_table(const MetricsSnapshot& snap, std::ostream& os) {
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    os << "(no metrics recorded)\n";
+    return;
+  }
+  const auto w = static_cast<int>(std::max<std::size_t>(longest_name(snap),
+                                                        std::size_t{6}));
+  if (!snap.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& c : snap.counters)
+      os << "  " << std::left << std::setw(w) << c.name << "  " << c.value
+         << '\n';
+  }
+  if (!snap.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& g : snap.gauges)
+      os << "  " << std::left << std::setw(w) << g.name << "  "
+         << std::setprecision(6) << g.value << '\n';
+  }
+  if (!snap.histograms.empty()) {
+    os << "histograms:" << std::setw(w - 7) << ""
+       << "      count        mean         p50         p95         p99\n";
+    for (const auto& h : snap.histograms) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      os << "  " << std::left << std::setw(w) << h.name << std::right
+         << std::fixed << std::setprecision(1) << "  " << std::setw(9)
+         << h.count << "  " << std::setw(10) << mean << "  " << std::setw(10)
+         << h.p50 << "  " << std::setw(10) << h.p95 << "  " << std::setw(10)
+         << h.p99 << '\n';
+      os.unsetf(std::ios::fixed);
+    }
+  }
+}
+
+}  // namespace mdl::obs

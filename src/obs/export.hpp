@@ -1,0 +1,27 @@
+// Exporters for MetricsRegistry snapshots: machine-readable JSONL (one
+// metric per line) and a human-readable aligned table. Both operate on a
+// MetricsSnapshot so they can render live registries or saved copies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mdl::obs {
+
+/// One JSON object per metric, e.g.
+///   {"kind":"counter","name":"threadpool.tasks_completed","value":128}
+///   {"kind":"histogram","name":"span.fedavg.round","count":50,...,
+///    "buckets":[{"le":1,"count":0},...]}
+/// Histogram overflow buckets serialize with "le":null.
+void write_snapshot_jsonl(const MetricsSnapshot& snap, std::ostream& os);
+
+/// Convenience: write_snapshot_jsonl into a string.
+std::string snapshot_to_jsonl(const MetricsSnapshot& snap);
+
+/// Aligned human-readable dump: counters, gauges, then histograms with
+/// count/mean/p50/p95/p99 columns.
+void write_snapshot_table(const MetricsSnapshot& snap, std::ostream& os);
+
+}  // namespace mdl::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/error.hpp"
+
+namespace mdl::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MDL_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  MDL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                    bounds_.end(),
+            "histogram bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  MDL_CHECK(start > 0.0 && factor > 1.0 && n > 0,
+            "need start > 0, factor > 1, n > 0");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double edge = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::default_latency_bounds_us() {
+  static const std::vector<double> kBounds =
+      exponential_bounds(1.0, 2.0, 25);  // 1us .. ~16.8s
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  MDL_CHECK(gauges_.find(name) == gauges_.end() &&
+                histograms_.find(name) == histograms_.end(),
+            "metric `" << name << "` already registered with another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  MDL_CHECK(counters_.find(name) == counters_.end() &&
+                histograms_.find(name) == histograms_.end(),
+            "metric `" << name << "` already registered with another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard lock(mu_);
+  MDL_CHECK(counters_.find(name) == counters_.end() &&
+                gauges_.find(name) == gauges_.end(),
+            "metric `" << name << "` already registered with another kind");
+  auto& slot = histograms_[name];
+  if (!slot)
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::default_latency_bounds_us() : bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->quantile(0.50);
+    hs.p95 = h->quantile(0.95);
+    hs.p99 = h->quantile(0.99);
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+ScopedTimerUs::ScopedTimerUs(Histogram& hist)
+    : hist_(hist),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  hist_.observe(static_cast<double>(now_ns - start_ns_) / 1e3);
+}
+
+}  // namespace mdl::obs

@@ -1,0 +1,83 @@
+#include "obs/run_logger.hpp"
+
+#include <ostream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace mdl::obs {
+
+RunRecord& RunRecord::add_raw(const std::string& key, std::string encoded) {
+  fields_.emplace_back(key, std::move(encoded));
+  return *this;
+}
+
+RunRecord& RunRecord::add(const std::string& key, const std::string& value) {
+  return add_raw(key, '"' + json_escape(value) + '"');
+}
+
+RunRecord& RunRecord::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+RunRecord& RunRecord::add(const std::string& key, double value) {
+  return add_raw(key, json_number(value));
+}
+
+RunRecord& RunRecord::add(const std::string& key, std::int64_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+RunRecord& RunRecord::add(const std::string& key, std::uint64_t value) {
+  return add_raw(key, std::to_string(value));
+}
+
+RunRecord& RunRecord::add(const std::string& key, int value) {
+  return add(key, static_cast<std::int64_t>(value));
+}
+
+RunRecord& RunRecord::add(const std::string& key, bool value) {
+  return add_raw(key, value ? "true" : "false");
+}
+
+std::string RunRecord::json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(fields_[i].first);
+    out += "\":";
+    out += fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+void RunLogger::open(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  MDL_CHECK(file->is_open(), "cannot open run log `" << path << "`");
+  file_ = std::move(file);
+  out_ = file_.get();
+}
+
+void RunLogger::attach(std::ostream* out) {
+  std::lock_guard lock(mu_);
+  file_.reset();
+  out_ = out;
+}
+
+void RunLogger::close() {
+  std::lock_guard lock(mu_);
+  file_.reset();
+  out_ = nullptr;
+}
+
+void RunLogger::log(const RunRecord& record) {
+  std::lock_guard lock(mu_);
+  if (out_ == nullptr) return;
+  *out_ << record.json() << '\n';
+  out_->flush();
+}
+
+}  // namespace mdl::obs

@@ -1,0 +1,61 @@
+// Structured run logging: one machine-readable JSONL record per round or
+// trial, written alongside a bench's human-readable stdout output. A
+// RunLogger without a sink is disabled and log() is a cheap no-op, so call
+// sites never need to branch. RunLogger stays functional even under
+// -DMDL_OBS_DISABLED: it only runs when a sink was explicitly opened.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdl::obs {
+
+/// Ordered field list rendered as one JSON object. Values are encoded as
+/// they are added; insertion order is preserved in the output.
+class RunRecord {
+ public:
+  RunRecord& add(const std::string& key, const std::string& value);
+  RunRecord& add(const std::string& key, const char* value);
+  RunRecord& add(const std::string& key, double value);
+  RunRecord& add(const std::string& key, std::int64_t value);
+  RunRecord& add(const std::string& key, std::uint64_t value);
+  RunRecord& add(const std::string& key, int value);
+  RunRecord& add(const std::string& key, bool value);
+
+  bool empty() const { return fields_.size() == 0; }
+  /// The record as a single-line JSON object (no trailing newline).
+  std::string json() const;
+
+ private:
+  RunRecord& add_raw(const std::string& key, std::string encoded);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Thread-safe JSONL sink. Each log() call writes one line and flushes, so
+/// records survive a crash mid-run.
+class RunLogger {
+ public:
+  RunLogger() = default;
+
+  /// Opens (truncates) `path` for writing; throws mdl::Error on failure.
+  void open(const std::string& path);
+  /// Uses a non-owning stream as the sink (tests; takes precedence is last
+  /// call wins between open/attach).
+  void attach(std::ostream* out);
+  void close();
+
+  bool enabled() const { return out_ != nullptr; }
+  void log(const RunRecord& record);
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace mdl::obs

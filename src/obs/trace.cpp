@@ -1,0 +1,54 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace mdl::obs {
+namespace {
+
+thread_local std::vector<const char*> t_span_stack;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string join_stack() {
+  std::string path;
+  for (const char* name : t_span_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, MetricsRegistry& registry)
+    : registry_(registry), start_ns_(now_ns()) {
+  MDL_CHECK(name != nullptr && *name != '\0', "span name must be non-empty");
+  t_span_stack.push_back(name);
+}
+
+TraceSpan::~TraceSpan() {
+  // The histogram name depends on the full stack at close time, so the
+  // lookup cannot be cached per site; spans bound coarse stages (rounds,
+  // steps, inference calls), where one map lookup is noise.
+  const std::string metric = "span." + join_stack();
+  t_span_stack.pop_back();
+  registry_.histogram(metric).observe(elapsed_us());
+}
+
+double TraceSpan::elapsed_us() const {
+  return static_cast<double>(now_ns() - start_ns_) / 1e3;
+}
+
+std::size_t TraceSpan::depth() { return t_span_stack.size(); }
+
+std::string TraceSpan::current_path() { return join_stack(); }
+
+}  // namespace mdl::obs

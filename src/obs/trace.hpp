@@ -1,0 +1,53 @@
+// RAII trace spans with thread-local nesting.
+//
+// A TraceSpan marks a scoped stage of work ("fedavg.round", "split.perturb").
+// Spans nest per thread: a span opened while another is active records under
+// the joined path `outer/inner`, so the same helper instrumented once shows
+// up separately under each caller. On destruction the span's wall time is
+// observed into a latency histogram named `span.<path>` (microseconds) in
+// the target registry.
+//
+// Use the MDL_OBS_SPAN(name) macro at instrumentation sites so the span
+// compiles away entirely under -DMDL_OBS_DISABLED.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mdl::obs {
+
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals at call sites).
+  explicit TraceSpan(const char* name,
+                     MetricsRegistry& registry = MetricsRegistry::global());
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Wall time since construction, in microseconds.
+  double elapsed_us() const;
+
+  /// Nesting depth of the calling thread (0 = no active span).
+  static std::size_t depth();
+  /// Joined path of the calling thread's active spans ("a/b"; "" if none).
+  static std::string current_path();
+
+ private:
+  MetricsRegistry& registry_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace mdl::obs
+
+#ifndef MDL_OBS_DISABLED
+/// Opens a TraceSpan covering the rest of the enclosing scope.
+#define MDL_OBS_SPAN(name) \
+  ::mdl::obs::TraceSpan MDL_OBS_CONCAT_(mdl_obs_span_, __LINE__)(name)
+#else
+#define MDL_OBS_SPAN(name) \
+  do {                     \
+  } while (0)
+#endif

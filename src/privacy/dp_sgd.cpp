@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "privacy/mechanisms.hpp"
 
 namespace mdl::privacy {
@@ -34,11 +36,15 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
   model.set_training(true);
   for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     for (std::int64_t s = 0; s < steps_per_epoch; ++s) {
+      MDL_OBS_SPAN("dp_sgd.step");
       // Poisson subsampling: each example joins the lot with probability q.
       std::vector<std::size_t> lot;
       for (std::size_t i = 0; i < n; ++i)
         if (rng.bernoulli(q)) lot.push_back(i);
       if (lot.empty()) continue;
+      MDL_OBS_COUNTER_ADD("dp_sgd.examples_processed", lot.size());
+      MDL_OBS_HISTOGRAM_OBSERVE("dp_sgd.lot_size",
+                                static_cast<double>(lot.size()));
 
       std::vector<double> grad_sum(p_count, 0.0);
       for (const std::size_t i : lot) {
@@ -74,6 +80,7 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
         p->grad.zero();
       }
       ++steps;
+      MDL_OBS_COUNTER_ADD("dp_sgd.steps", 1);
     }
   }
 
@@ -86,6 +93,8 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
   result.epsilon = config.noise_multiplier > 0.0
                        ? accountant.epsilon(config.delta)
                        : std::numeric_limits<double>::infinity();
+  MDL_OBS_GAUGE_SET("dp_sgd.test_accuracy", result.test_accuracy);
+  MDL_OBS_GAUGE_SET("dp_sgd.epsilon", result.epsilon);
   return result;
 }
 

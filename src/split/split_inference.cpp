@@ -1,6 +1,8 @@
 #include "split/split_inference.hpp"
 
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mdl::split {
 
@@ -20,6 +22,7 @@ SplitInference SplitInference::from_whole(
 }
 
 Tensor SplitInference::local_representation(const Tensor& x) {
+  MDL_OBS_SPAN("split.local_representation");
   return local_->forward(x);
 }
 
@@ -30,6 +33,7 @@ Tensor SplitInference::perturb(const Tensor& representation,
             "nullification rate must be in [0, 1]");
   MDL_CHECK(config.clip_bound > 0.0, "clip bound must be positive");
   MDL_CHECK(config.laplace_scale >= 0.0, "laplace scale must be >= 0");
+  MDL_OBS_SPAN("split.perturb");
   Tensor out = representation;
   out.clamp_(-static_cast<float>(config.clip_bound),
              static_cast<float>(config.clip_bound));
@@ -42,6 +46,7 @@ Tensor SplitInference::perturb(const Tensor& representation,
 }
 
 Tensor SplitInference::cloud_logits(const Tensor& representation) {
+  MDL_OBS_SPAN("split.cloud_logits");
   return cloud_->forward(representation);
 }
 
@@ -49,8 +54,10 @@ std::vector<std::int64_t> SplitInference::predict(const Tensor& x,
                                                   const PerturbConfig& config,
                                                   Rng& rng) {
   cloud_->set_training(false);
+  MDL_OBS_COUNTER_ADD("split.predictions",
+                      static_cast<std::uint64_t>(x.shape(0)));
   const Tensor rep = perturb(local_representation(x), config, rng);
-  return cloud_->forward(rep).argmax_rows();
+  return cloud_logits(rep).argmax_rows();
 }
 
 double SplitInference::evaluate(const data::TabularDataset& ds,
@@ -69,6 +76,7 @@ double SplitInference::train_cloud(const data::TabularDataset& train,
                                    Rng& rng) {
   MDL_CHECK(train.size() > 0, "empty training set");
   MDL_CHECK(epochs > 0 && batch_size > 0 && lr > 0.0, "invalid config");
+  MDL_OBS_SPAN("split.train_cloud");
 
   // Clean representations are deterministic (frozen local part): compute
   // once; noisy training re-perturbs per minibatch.

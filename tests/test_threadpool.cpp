@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace mdl {
@@ -56,6 +59,53 @@ TEST(ParallelFor, ZeroIterations) {
   bool ran = false;
   parallel_for(&pool, 0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37)
+                                throw std::runtime_error("worker failed");
+                            }),
+               std::runtime_error);
+  // The pool survives a failed parallel_for and keeps scheduling work.
+  std::atomic<int> done{0};
+  parallel_for(&pool, 10, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ParallelFor, ThrowReturnsOnlyAfterAllWorkersFinished) {
+  // parallel_for must not return (and destroy captured state) while other
+  // workers are still touching it — a regression test for the lost-future
+  // bug where the first get() rethrew and the remaining futures were
+  // abandoned.
+  ThreadPool pool(4);
+  std::atomic<int> entered{0};
+  std::atomic<int> exited{0};
+  try {
+    parallel_for(&pool, 64, [&](std::size_t i) {
+      entered.fetch_add(1);
+      if (i == 0) {
+        exited.fetch_add(1);
+        throw std::runtime_error("early failure");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      exited.fetch_add(1);
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Every body that started also finished before parallel_for returned.
+  EXPECT_EQ(entered.load(), exited.load());
+}
+
+TEST(ParallelFor, PropagatesExceptionInline) {
+  EXPECT_THROW(parallel_for(nullptr, 5,
+                            [](std::size_t i) {
+                              if (i == 2) throw std::logic_error("inline");
+                            }),
+               std::logic_error);
 }
 
 }  // namespace
