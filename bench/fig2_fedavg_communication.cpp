@@ -3,12 +3,20 @@
 // (McMahan et al.). Measures rounds and exact bytes to a target accuracy
 // for FedSGD vs FedAvg at several local-epoch counts E, over non-IID
 // client shards.
+//
+// The second section is an availability sweep: the same FedAvg workload is
+// re-run through the mdl::sim fault injector at increasing client dropout
+// rates (plus stragglers, truncated uploads, and a round deadline) to show
+// how rounds-to-target and total bytes degrade on a realistic mobile
+// population. Every fault record is deterministic in the plan seed, so two
+// runs emit byte-identical JSONL.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "core/table.hpp"
 #include "data/synthetic.hpp"
 #include "federated/fedavg.hpp"
+#include "sim/sim_network.hpp"
 
 int main(int argc, char** argv) {
   using namespace mdl;
@@ -91,6 +99,87 @@ int main(int argc, char** argv) {
   std::cout << "\nShape target: FedAvg with E >= 5 reaches the target with "
                ">= 10x fewer bytes than FedSGD;\nlarger E keeps helping "
                "until client drift sets in.\n";
+
+  // ---- Availability sweep: FedAvg under a faulty mobile population -------
+  std::cout << "\nAvailability sweep: FedAvg (E = 5) through mdl::sim over "
+               "LTE\n(stragglers 15%, truncated uploads 5%, 30 s round "
+               "deadline, 2 retries, quorum 4)\n\n";
+  TablePrinter avail({"dropout", "rounds", "aborts", "drops", "retries",
+                      "deadline miss", "bytes", "wasted", "final acc",
+                      "sim time (s)"});
+  for (const double dropout : {0.0, 0.1, 0.3, 0.5}) {
+    federated::FedAvgConfig cfg;
+    cfg.rounds = max_rounds;
+    cfg.clients_per_round = 10;
+    cfg.local_epochs = 5;
+    cfg.batch_size = 16;
+    cfg.target_accuracy = target;
+    cfg.seed = 7;
+
+    sim::FaultPlan plan;
+    plan.seed = 93;
+    plan.dropout_prob = dropout;
+    plan.straggler_prob = 0.15;
+    plan.straggler_mean_slowdown = 6.0;
+    plan.truncation_prob = 0.05;
+    plan.round_deadline_s = 30.0;
+    plan.max_retries = 2;
+    plan.retry_backoff_s = 1.0;
+    plan.min_quorum = 4;
+    sim::SimNetwork net(plan, mobile::NetworkModel::lte(),
+                        mobile::DeviceProfile::mobile_soc());
+
+    federated::FedAvgTrainer trainer(factory, shards, cfg);
+    trainer.attach_network(&net);
+    const auto history = trainer.run(split.test);
+
+    for (const federated::RoundStats& rs : history)
+      bench::log(bench::record("fault_round")
+                     .add("dropout_prob", dropout)
+                     .add("round", rs.round)
+                     .add("selected", rs.clients_selected)
+                     .add("delivered", rs.clients_delivered)
+                     .add("dropouts", rs.dropouts)
+                     .add("retries", rs.retries)
+                     .add("deadline_misses", rs.deadline_misses)
+                     .add("bytes_wasted", rs.bytes_wasted)
+                     .add("aborted", rs.aborted)
+                     .add("sim_latency_s", rs.sim_latency_s)
+                     .add("sim_energy_j", rs.sim_energy_j)
+                     .add("test_accuracy", rs.test_accuracy)
+                     .add("cumulative_bytes", rs.cumulative_bytes));
+    const sim::FaultCounters& fc = net.counters();
+    bench::log(bench::record("availability_trial")
+                   .add("dropout_prob", dropout)
+                   .add("rounds", history.back().round)
+                   .add("aborts", fc.aborts)
+                   .add("dropouts", fc.dropouts)
+                   .add("retries", fc.retries)
+                   .add("deadline_misses", fc.deadline_misses)
+                   .add("upload_failures", fc.upload_failures)
+                   .add("bytes_wasted", fc.bytes_wasted)
+                   .add("total_bytes", trainer.ledger().total())
+                   .add("final_accuracy", history.back().test_accuracy)
+                   .add("sim_time_s", fc.sim_time_s)
+                   .add("device_energy_j", fc.energy_j));
+
+    avail.begin_row()
+        .add_percent(dropout)
+        .add(history.back().round)
+        .add(fc.aborts)
+        .add(fc.dropouts)
+        .add(fc.retries)
+        .add(fc.deadline_misses)
+        .add(format_bytes(trainer.ledger().total()))
+        .add(format_bytes(fc.bytes_wasted))
+        .add_percent(history.back().test_accuracy)
+        .add(fc.sim_time_s, 1);
+  }
+  avail.print(std::cout);
+  std::cout << "\nShape target: rounds-to-target and wasted bytes grow "
+               "smoothly with dropout; the run\nnever crashes, and quorum "
+               "aborts appear (not explode) at 50% dropout.\n";
+
   bench::log_metrics_snapshot();
   return 0;
 }

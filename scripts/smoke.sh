@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Smoke run: configure, build, run the unit tests, then every bench in
-# MDL_QUICK mode with JSONL output enabled. Fails on the first error.
+# MDL_QUICK mode with JSONL output enabled, and finally the unit-label
+# tests again under ASan+UBSan. Fails on the first error.
 #
 # Usage: scripts/smoke.sh [build-dir]
 #   MDL_SANITIZE=address,undefined scripts/smoke.sh build-asan
+#     (with MDL_SANITIZE set, the whole run is sanitized and the extra
+#      sanitizer stage at the end is skipped)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,5 +50,20 @@ MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --json "$OUT_DIR/micro_kernels.jsonl" \
   --benchmark_filter='BM_DenseMatvec|BM_GruStep/1' \
   --benchmark_min_time=0.01
+
+# Sanitizer pass: rebuild the fast unit tier with ASan+UBSan and run it.
+# Skipped when the main build is already sanitized (MDL_SANITIZE set).
+if [[ -z "${MDL_SANITIZE:-}" ]]; then
+  ASAN_DIR="${BUILD_DIR}-asan"
+  echo "=== unit tests under ASan+UBSan ($ASAN_DIR) ==="
+  cmake -B "$ASAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMDL_SANITIZE=address,undefined \
+    -DMDL_BUILD_BENCH=OFF \
+    -DMDL_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_DIR" -j "$(nproc)"
+  UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$ASAN_DIR" -L unit --output-on-failure -j "$(nproc)"
+fi
 
 echo "smoke OK: JSONL records in $OUT_DIR"

@@ -6,6 +6,48 @@
 
 namespace mdl::federated {
 
+namespace {
+constexpr std::uint32_t kRoundStatsVersion = 1;
+}
+
+void serialize_round_stats(BinaryWriter& w, const RoundStats& s) {
+  w.write_u32(kRoundStatsVersion);
+  w.write_i64(s.round);
+  w.write_f64(s.test_accuracy);
+  w.write_f64(s.train_loss);
+  w.write_u64(s.cumulative_bytes);
+  w.write_i64(s.clients_selected);
+  w.write_i64(s.clients_delivered);
+  w.write_i64(s.dropouts);
+  w.write_i64(s.deadline_misses);
+  w.write_i64(s.retries);
+  w.write_u64(s.bytes_wasted);
+  w.write_u8(s.aborted ? 1 : 0);
+  w.write_f64(s.sim_latency_s);
+  w.write_f64(s.sim_energy_j);
+}
+
+RoundStats deserialize_round_stats(BinaryReader& r) {
+  const std::uint32_t version = r.read_u32();
+  MDL_CHECK(version == kRoundStatsVersion,
+            "unsupported RoundStats version " << version);
+  RoundStats s;
+  s.round = r.read_i64();
+  s.test_accuracy = r.read_f64();
+  s.train_loss = r.read_f64();
+  s.cumulative_bytes = r.read_u64();
+  s.clients_selected = r.read_i64();
+  s.clients_delivered = r.read_i64();
+  s.dropouts = r.read_i64();
+  s.deadline_misses = r.read_i64();
+  s.retries = r.read_i64();
+  s.bytes_wasted = r.read_u64();
+  s.aborted = r.read_u8() != 0;
+  s.sim_latency_s = r.read_f64();
+  s.sim_energy_j = r.read_f64();
+  return s;
+}
+
 ModelFactory mlp_factory(std::int64_t in_features, std::int64_t hidden,
                          std::int64_t classes) {
   MDL_CHECK(in_features > 0 && hidden > 0 && classes > 1,

@@ -14,9 +14,14 @@
 #include <vector>
 
 #include "core/random.hpp"
+#include "core/serialize.hpp"
 #include "data/dataset.hpp"
 #include "nn/module.hpp"
 #include "nn/param_utils.hpp"
+
+namespace mdl::sim {
+class SimNetwork;
+}
 
 namespace mdl::federated {
 
@@ -40,16 +45,37 @@ struct CommLedger {
   void dense_down(std::uint64_t floats) { bytes_down += floats * 4; }
   void sparse_up(std::uint64_t coords) { bytes_up += coords * 8; }
   void sparse_down(std::uint64_t coords) { bytes_down += coords * 8; }
+  /// Raw uplink traffic that delivered nothing (truncated/corrupted/stale
+  /// uploads injected by mdl::sim) — it still crossed the radio, so it
+  /// counts toward the communication bill.
+  void wasted_up(std::uint64_t bytes) { bytes_up += bytes; }
   std::uint64_t total() const { return bytes_up + bytes_down; }
 };
 
-/// Per-round metrics emitted by the trainers.
+/// Per-round metrics emitted by the trainers. The sim_* / fault fields stay
+/// zero unless a mdl::sim::SimNetwork is attached to the trainer.
 struct RoundStats {
   std::int64_t round = 0;
   double test_accuracy = 0.0;
   double train_loss = 0.0;
   std::uint64_t cumulative_bytes = 0;
+  std::int64_t clients_selected = 0;
+  std::int64_t clients_delivered = 0;
+  std::int64_t dropouts = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t retries = 0;
+  std::uint64_t bytes_wasted = 0;
+  bool aborted = false;          ///< quorum not met; global model unchanged
+  double sim_latency_s = 0.0;    ///< simulated synchronous-round latency
+  double sim_energy_j = 0.0;     ///< simulated device energy for the round
+
+  bool operator==(const RoundStats&) const = default;
 };
+
+/// Versioned binary round-trip for round state, so a federated run's
+/// history can be archived next to its model checkpoint and replayed.
+void serialize_round_stats(BinaryWriter& w, const RoundStats& s);
+RoundStats deserialize_round_stats(BinaryReader& r);
 
 /// Runs `epochs` of minibatch SGD on `model` over `shard`. Returns the mean
 /// training loss of the final epoch.

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/sim_network.hpp"
 
 namespace mdl::federated {
 
@@ -42,60 +43,101 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     const auto selected = rng_.sample_without_replacement(
         shards_.size(), static_cast<std::size_t>(config_.clients_per_round));
 
-    std::int64_t n_total = 0;
-    for (const std::size_t k : selected) n_total += shards_[k].size();
-
-    std::vector<double> aggregate(w_global.size(), 0.0);
-    double round_loss = 0.0;
-
-    for (const std::size_t k : selected) {
-      MDL_OBS_SPAN("client_update");  // nests as fedavg.round/client_update
-      // Download current global model to the participant.
-      nn::unflatten_into_values(w_global, worker_params);
-      ledger_.dense_down(w_global.size());
-      const double weight = static_cast<double>(shards_[k].size()) /
-                            static_cast<double>(n_total);
-      Rng client_rng = rng_.fork();
-
-      if (config_.fedsgd) {
-        round_loss +=
-            weight * full_batch_gradient(*worker_, shards_[k]);
-        const std::vector<float> g = nn::flatten_grads(worker_params);
-        for (std::size_t i = 0; i < g.size(); ++i)
-          aggregate[i] += weight * static_cast<double>(g[i]);
-        ledger_.dense_up(g.size());
-      } else {
-        round_loss += weight * local_sgd(*worker_, shards_[k],
-                                         config_.local_epochs,
-                                         config_.batch_size,
-                                         config_.client_lr, client_rng);
-        const std::vector<float> w_k = nn::flatten_values(worker_params);
-        for (std::size_t i = 0; i < w_k.size(); ++i)
-          aggregate[i] += weight * static_cast<double>(w_k[i]);
-        ledger_.dense_up(w_k.size());
-      }
-    }
-
-    // Server update.
-    std::vector<float> w_next(w_global.size());
-    if (config_.fedsgd) {
-      for (std::size_t i = 0; i < w_next.size(); ++i)
-        w_next[i] = w_global[i] - static_cast<float>(config_.server_lr *
-                                                     aggregate[i]);
-    } else {
-      for (std::size_t i = 0; i < w_next.size(); ++i)
-        w_next[i] = static_cast<float>(aggregate[i]);
-    }
-    nn::unflatten_into_values(w_next, global_params);
-
     RoundStats stats;
     stats.round = round;
+    stats.clients_selected = static_cast<std::int64_t>(selected.size());
+
+    // Survivors: the clients whose upload the server accepts this round.
+    // Without a SimNetwork the exchange is loss-free and everyone survives.
+    std::vector<std::size_t> survivors;
+    bool aborted = false;
+    if (net_ != nullptr) {
+      const std::uint64_t model_bytes =
+          static_cast<std::uint64_t>(w_global.size()) * 4;
+      const sim::RoundReport report =
+          net_->run_round(round, selected, model_bytes, model_bytes);
+      aborted = report.aborted;
+      for (const sim::ClientExchange& ex : report.clients) {
+        if (ex.outcome == sim::Outcome::kDropout) continue;
+        ledger_.dense_down(w_global.size());
+        ledger_.wasted_up(ex.bytes_wasted);
+        if (!ex.delivered()) continue;
+        if (aborted) {
+          // Delivered but discarded with the round: the bytes still flew.
+          ledger_.wasted_up(ex.bytes_up_ok);
+        } else {
+          survivors.push_back(ex.client);
+        }
+      }
+      stats.clients_delivered = report.delivered;
+      stats.dropouts = report.dropouts;
+      stats.deadline_misses = report.deadline_misses;
+      stats.retries = report.retries;
+      stats.bytes_wasted = report.bytes_wasted;
+      stats.aborted = aborted;
+      stats.sim_latency_s = report.round_latency_s;
+      stats.sim_energy_j = report.device_energy_j;
+    } else {
+      survivors.assign(selected.begin(), selected.end());
+      stats.clients_delivered = static_cast<std::int64_t>(survivors.size());
+    }
+
+    double round_loss = 0.0;
+    if (!aborted && !survivors.empty()) {
+      // Survivor-weighted aggregation: n_k / n over delivered updates only.
+      std::int64_t n_total = 0;
+      for (const std::size_t k : survivors) n_total += shards_[k].size();
+
+      std::vector<double> aggregate(w_global.size(), 0.0);
+      for (const std::size_t k : survivors) {
+        MDL_OBS_SPAN("client_update");  // nests as fedavg.round/client_update
+        // Download current global model to the participant.
+        nn::unflatten_into_values(w_global, worker_params);
+        if (net_ == nullptr) ledger_.dense_down(w_global.size());
+        const double weight = static_cast<double>(shards_[k].size()) /
+                              static_cast<double>(n_total);
+        Rng client_rng = rng_.fork();
+
+        if (config_.fedsgd) {
+          round_loss +=
+              weight * full_batch_gradient(*worker_, shards_[k]);
+          const std::vector<float> g = nn::flatten_grads(worker_params);
+          for (std::size_t i = 0; i < g.size(); ++i)
+            aggregate[i] += weight * static_cast<double>(g[i]);
+          ledger_.dense_up(g.size());
+        } else {
+          round_loss += weight * local_sgd(*worker_, shards_[k],
+                                           config_.local_epochs,
+                                           config_.batch_size,
+                                           config_.client_lr, client_rng);
+          const std::vector<float> w_k = nn::flatten_values(worker_params);
+          for (std::size_t i = 0; i < w_k.size(); ++i)
+            aggregate[i] += weight * static_cast<double>(w_k[i]);
+          ledger_.dense_up(w_k.size());
+        }
+      }
+
+      // Server update.
+      std::vector<float> w_next(w_global.size());
+      if (config_.fedsgd) {
+        for (std::size_t i = 0; i < w_next.size(); ++i)
+          w_next[i] = w_global[i] - static_cast<float>(config_.server_lr *
+                                                       aggregate[i]);
+      } else {
+        for (std::size_t i = 0; i < w_next.size(); ++i)
+          w_next[i] = static_cast<float>(aggregate[i]);
+      }
+      nn::unflatten_into_values(w_next, global_params);
+    }
+    // Aborted (or fully failed) rounds keep the previous global model.
+
     stats.train_loss = round_loss;
     stats.test_accuracy = evaluate_accuracy(*global_, test);
     stats.cumulative_bytes = ledger_.total();
     history.push_back(stats);
 
     MDL_OBS_COUNTER_ADD("fedavg.rounds", 1);
+    if (stats.aborted) MDL_OBS_COUNTER_ADD("fedavg.round_aborts", 1);
     MDL_OBS_COUNTER_ADD("fedavg.bytes_up", ledger_.bytes_up - bytes_up_before);
     MDL_OBS_COUNTER_ADD("fedavg.bytes_down",
                         ledger_.bytes_down - bytes_down_before);

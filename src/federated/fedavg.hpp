@@ -45,6 +45,13 @@ class FedAvgTrainer {
   /// evaluating on `test` after every round.
   std::vector<RoundStats> run(const data::TabularDataset& test);
 
+  /// Routes every client<->server exchange through a fault-injecting
+  /// network simulator (non-owning; must outlive run()). Aggregation
+  /// becomes survivor-weighted, stale/failed uploads are rejected, and a
+  /// round with fewer deliveries than the plan's quorum aborts (the global
+  /// model is kept unchanged). nullptr restores the loss-free network.
+  void attach_network(sim::SimNetwork* net) { net_ = net; }
+
   nn::Sequential& global_model() { return *global_; }
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
@@ -58,6 +65,7 @@ class FedAvgTrainer {
   std::unique_ptr<nn::Sequential> worker_;  ///< reused client workspace
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
+  sim::SimNetwork* net_ = nullptr;
 };
 
 }  // namespace mdl::federated

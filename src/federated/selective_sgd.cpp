@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/sim_network.hpp"
 
 namespace mdl::federated {
 
@@ -50,8 +51,33 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     MDL_OBS_SPAN("selective_sgd.round");
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
+
+    // Fault-injected exchange for the whole population (loss-free without
+    // an attached SimNetwork). Coordinate counts are uniform across
+    // participants, so payload sizes are too.
+    sim::RoundReport report;
+    if (net_ != nullptr) {
+      std::vector<std::size_t> all(shards_.size());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      const std::uint64_t bytes_down =
+          config_.download_fraction >= 1.0
+              ? static_cast<std::uint64_t>(p_count) * 4
+              : static_cast<std::uint64_t>(top_k(config_.download_fraction)) *
+                    8;
+      const std::uint64_t bytes_up =
+          config_.upload_fraction >= 1.0
+              ? static_cast<std::uint64_t>(p_count) * 4
+              : static_cast<std::uint64_t>(top_k(config_.upload_fraction)) * 8;
+      report = net_->run_round(round, all, bytes_down, bytes_up);
+    }
+
     double round_loss = 0.0;
+    std::int64_t participants = 0;
     for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const sim::ClientExchange* ex =
+          net_ != nullptr ? &report.clients[k] : nullptr;
+      if (ex != nullptr && ex->outcome == sim::Outcome::kDropout) continue;
+      ++participants;
       MDL_OBS_SPAN("participant_update");
       std::vector<float>& local = locals_[k];
       std::uint32_t* seen = seen_version_.data() + k * p_count;
@@ -88,24 +114,38 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
       const std::vector<float> after = nn::flatten_values(params);
 
       // -- Upload: theta_u fraction of largest |accumulated gradient| -----
-      std::vector<float> delta(p_count);
-      for (std::size_t i = 0; i < p_count; ++i) delta[i] = after[i] - local[i];
-      const std::size_t ul = top_k(config_.upload_fraction);
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::nth_element(order.begin(),
-                       order.begin() + static_cast<std::ptrdiff_t>(ul - 1),
-                       order.end(), [&](std::size_t a, std::size_t b) {
-                         return std::abs(delta[a]) > std::abs(delta[b]);
-                       });
-      for (std::size_t j = 0; j < ul; ++j) {
-        const std::size_t i = order[j];
-        global_[i] += delta[i];
-        ++version_[i];
+      // Under fault injection a failed (or abort-discarded) upload never
+      // reaches the server: the replica keeps its progress, the parameter
+      // server sees nothing, and the attempted traffic is wasted bytes.
+      // Traffic burned on failed attempts counts even when a later retry
+      // succeeded.
+      if (ex != nullptr) ledger_.wasted_up(ex->bytes_wasted);
+      const bool accepted =
+          ex == nullptr || (ex->delivered() && !report.aborted);
+      if (accepted) {
+        std::vector<float> delta(p_count);
+        for (std::size_t i = 0; i < p_count; ++i)
+          delta[i] = after[i] - local[i];
+        const std::size_t ul = top_k(config_.upload_fraction);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::nth_element(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(ul - 1),
+                         order.end(), [&](std::size_t a, std::size_t b) {
+                           return std::abs(delta[a]) > std::abs(delta[b]);
+                         });
+        for (std::size_t j = 0; j < ul; ++j) {
+          const std::size_t i = order[j];
+          global_[i] += delta[i];
+          ++version_[i];
+        }
+        if (config_.upload_fraction >= 1.0)
+          ledger_.dense_up(ul);
+        else
+          ledger_.sparse_up(ul);
+      } else if (ex->delivered()) {
+        // Delivered into an aborted round: discarded by the server.
+        ledger_.wasted_up(ex->bytes_up_ok);
       }
-      if (config_.upload_fraction >= 1.0)
-        ledger_.dense_up(ul);
-      else
-        ledger_.sparse_up(ul);
 
       local = after;  // the replica keeps all of its own progress
     }
@@ -113,12 +153,28 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     nn::unflatten_into_values(global_, params);
     RoundStats stats;
     stats.round = round;
-    stats.train_loss = round_loss / static_cast<double>(shards_.size());
+    stats.train_loss =
+        participants > 0 ? round_loss / static_cast<double>(participants)
+                         : 0.0;
     stats.test_accuracy = evaluate_accuracy(*eval_model_, test);
     stats.cumulative_bytes = ledger_.total();
+    stats.clients_selected = static_cast<std::int64_t>(shards_.size());
+    if (net_ != nullptr) {
+      stats.clients_delivered = report.delivered;
+      stats.dropouts = report.dropouts;
+      stats.deadline_misses = report.deadline_misses;
+      stats.retries = report.retries;
+      stats.bytes_wasted = report.bytes_wasted;
+      stats.aborted = report.aborted;
+      stats.sim_latency_s = report.round_latency_s;
+      stats.sim_energy_j = report.device_energy_j;
+    } else {
+      stats.clients_delivered = static_cast<std::int64_t>(shards_.size());
+    }
     history.push_back(stats);
 
     MDL_OBS_COUNTER_ADD("selective_sgd.rounds", 1);
+    if (stats.aborted) MDL_OBS_COUNTER_ADD("selective_sgd.round_aborts", 1);
     MDL_OBS_COUNTER_ADD("selective_sgd.bytes_up",
                         ledger_.bytes_up - bytes_up_before);
     MDL_OBS_COUNTER_ADD("selective_sgd.bytes_down",

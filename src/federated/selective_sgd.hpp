@@ -39,6 +39,13 @@ class SelectiveSGDTrainer {
   /// each other's data without sharing it — the point of the scheme).
   double participant_accuracy(std::size_t k, const data::TabularDataset& test);
 
+  /// Routes the per-participant exchange through a fault simulator
+  /// (non-owning; must outlive run()). A dropped-out participant skips the
+  /// round entirely; a failed upload keeps the local replica's progress but
+  /// never reaches the parameter server (bytes counted as wasted); a
+  /// quorum-aborted round discards every upload.
+  void attach_network(sim::SimNetwork* net) { net_ = net; }
+
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
 
@@ -54,6 +61,7 @@ class SelectiveSGDTrainer {
   std::vector<std::uint32_t> seen_version_;     ///< per-participant sync state
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
+  sim::SimNetwork* net_ = nullptr;
 };
 
 }  // namespace mdl::federated

@@ -1,6 +1,7 @@
 #include "privacy/dp_fedavg.hpp"
 
 #include "privacy/mechanisms.hpp"
+#include "sim/sim_network.hpp"
 
 namespace mdl::privacy {
 
@@ -37,8 +38,12 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     const std::vector<float> w_global = nn::flatten_values(global_params);
     std::vector<double> update_sum(p_count, 0.0);
 
-    for (std::size_t k = 0; k < shards_.size(); ++k) {
-      if (!rng_.bernoulli(config_.client_sample_prob)) continue;
+    DpRoundStats stats;
+    stats.round = round;
+
+    // One participant's contribution: local training from w_global, update
+    // clipped to S (modification 2), summed into the aggregate.
+    const auto run_client = [&](std::size_t k) {
       nn::unflatten_into_values(w_global, worker_params);
       Rng client_rng = rng_.fork();
       federated::local_sgd(*worker_, shards_[k], config_.local_epochs,
@@ -48,26 +53,57 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
       nn::clip_l2(update, config_.clip_norm);  // modification 2
       for (std::size_t i = 0; i < p_count; ++i)
         update_sum[i] += static_cast<double>(update[i]);
+    };
+
+    bool aborted = false;
+    if (net_ != nullptr) {
+      // Modification 1 (independent sampling) happens first; the sampled
+      // cohort then runs the gauntlet of the fault plan. Lost updates just
+      // shrink the realized cohort — the fixed-denominator estimator keeps
+      // the sensitivity bound, so no DP correction is needed.
+      std::vector<std::size_t> sampled;
+      for (std::size_t k = 0; k < shards_.size(); ++k)
+        if (rng_.bernoulli(config_.client_sample_prob)) sampled.push_back(k);
+      const std::uint64_t model_bytes =
+          static_cast<std::uint64_t>(p_count) * 4;
+      const sim::RoundReport report =
+          net_->run_round(round, sampled, model_bytes, model_bytes);
+      aborted = report.aborted;
+      stats.clients_selected = static_cast<std::int64_t>(sampled.size());
+      stats.clients_delivered = report.delivered;
+      stats.aborted = aborted;
+      if (!aborted)
+        for (const sim::ClientExchange& ex : report.clients)
+          if (ex.delivered()) run_client(ex.client);
+    } else {
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (!rng_.bernoulli(config_.client_sample_prob)) continue;
+        ++stats.clients_selected;
+        run_client(k);
+      }
+      stats.clients_delivered = stats.clients_selected;
     }
 
-    // Modifications 3 + 4: fixed-denominator estimator + Gaussian noise of
-    // stddev z * S / (p K) on the averaged update.
-    const double sigma =
-        config_.noise_multiplier * config_.clip_norm / expected_cohort;
-    std::vector<float> w_next(p_count);
-    for (std::size_t i = 0; i < p_count; ++i) {
-      const double avg_update = update_sum[i] / expected_cohort +
-                                rng_.normal(0.0, sigma);
-      w_next[i] = w_global[i] + static_cast<float>(avg_update);
+    if (!aborted) {
+      // Modifications 3 + 4: fixed-denominator estimator + Gaussian noise
+      // of stddev z * S / (p K) on the averaged update.
+      const double sigma =
+          config_.noise_multiplier * config_.clip_norm / expected_cohort;
+      std::vector<float> w_next(p_count);
+      for (std::size_t i = 0; i < p_count; ++i) {
+        const double avg_update = update_sum[i] / expected_cohort +
+                                  rng_.normal(0.0, sigma);
+        w_next[i] = w_global[i] + static_cast<float>(avg_update);
+      }
+      nn::unflatten_into_values(w_next, global_params);
+
+      if (config_.noise_multiplier > 0.0)
+        accountant_.add_steps(1, config_.client_sample_prob,
+                              config_.noise_multiplier);
     }
-    nn::unflatten_into_values(w_next, global_params);
+    // An aborted round releases nothing: the global model is unchanged and
+    // the moments accountant is not charged.
 
-    if (config_.noise_multiplier > 0.0)
-      accountant_.add_steps(1, config_.client_sample_prob,
-                            config_.noise_multiplier);
-
-    DpRoundStats stats;
-    stats.round = round;
     stats.test_accuracy = federated::evaluate_accuracy(*global_, test);
     stats.epsilon = config_.noise_multiplier > 0.0
                         ? accountant_.epsilon(config_.delta)

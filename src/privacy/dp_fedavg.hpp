@@ -35,6 +35,10 @@ struct DpRoundStats {
   std::int64_t round = 0;
   double test_accuracy = 0.0;
   double epsilon = 0.0;  ///< cumulative, at config.delta
+  /// Fault-injection fields (zero without an attached SimNetwork).
+  std::int64_t clients_selected = 0;
+  std::int64_t clients_delivered = 0;
+  bool aborted = false;  ///< quorum not met; no release, no privacy charge
 };
 
 /// Parameter server with user-level DP aggregation.
@@ -45,6 +49,13 @@ class DpFedAvgTrainer {
                   DpFedAvgConfig config);
 
   std::vector<DpRoundStats> run(const data::TabularDataset& test);
+
+  /// Routes the sampled cohort's exchange through a fault simulator
+  /// (non-owning; must outlive run()). Lost updates simply shrink the
+  /// realized cohort — the fixed-denominator estimator (modification 3)
+  /// already bounds sensitivity, so dropout needs no DP correction. A
+  /// quorum-aborted round releases nothing and charges no privacy budget.
+  void attach_network(sim::SimNetwork* net) { net_ = net; }
 
   nn::Sequential& global_model() { return *global_; }
   const MomentsAccountant& accountant() const { return accountant_; }
@@ -57,6 +68,7 @@ class DpFedAvgTrainer {
   std::unique_ptr<nn::Sequential> global_;
   std::unique_ptr<nn::Sequential> worker_;
   MomentsAccountant accountant_;
+  sim::SimNetwork* net_ = nullptr;
 };
 
 }  // namespace mdl::privacy

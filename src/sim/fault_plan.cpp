@@ -1,0 +1,65 @@
+#include "sim/fault_plan.hpp"
+
+#include "core/error.hpp"
+
+namespace mdl::sim {
+
+namespace {
+constexpr std::uint32_t kFaultPlanVersion = 1;
+
+void check_prob(double p, const char* name) {
+  MDL_CHECK(p >= 0.0 && p <= 1.0,
+            "" << name << " must be in [0, 1], got " << p);
+}
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_prob(dropout_prob, "dropout_prob");
+  check_prob(straggler_prob, "straggler_prob");
+  check_prob(truncation_prob, "truncation_prob");
+  check_prob(corruption_prob, "corruption_prob");
+  MDL_CHECK(straggler_mean_slowdown > 0.0,
+            "straggler_mean_slowdown must be positive, got "
+                << straggler_mean_slowdown);
+  MDL_CHECK(round_deadline_s >= 0.0,
+            "round_deadline_s must be >= 0, got " << round_deadline_s);
+  MDL_CHECK(max_retries >= 0, "max_retries must be >= 0, got " << max_retries);
+  MDL_CHECK(retry_backoff_s >= 0.0,
+            "retry_backoff_s must be >= 0, got " << retry_backoff_s);
+  MDL_CHECK(min_quorum >= 0, "min_quorum must be >= 0, got " << min_quorum);
+}
+
+void FaultPlan::serialize(BinaryWriter& w) const {
+  w.write_u32(kFaultPlanVersion);
+  w.write_u64(seed);
+  w.write_f64(dropout_prob);
+  w.write_f64(straggler_prob);
+  w.write_f64(straggler_mean_slowdown);
+  w.write_f64(truncation_prob);
+  w.write_f64(corruption_prob);
+  w.write_f64(round_deadline_s);
+  w.write_i64(max_retries);
+  w.write_f64(retry_backoff_s);
+  w.write_i64(min_quorum);
+}
+
+FaultPlan FaultPlan::deserialize(BinaryReader& r) {
+  const std::uint32_t version = r.read_u32();
+  MDL_CHECK(version == kFaultPlanVersion,
+            "unsupported FaultPlan version " << version);
+  FaultPlan p;
+  p.seed = r.read_u64();
+  p.dropout_prob = r.read_f64();
+  p.straggler_prob = r.read_f64();
+  p.straggler_mean_slowdown = r.read_f64();
+  p.truncation_prob = r.read_f64();
+  p.corruption_prob = r.read_f64();
+  p.round_deadline_s = r.read_f64();
+  p.max_retries = r.read_i64();
+  p.retry_backoff_s = r.read_f64();
+  p.min_quorum = r.read_i64();
+  p.validate();
+  return p;
+}
+
+}  // namespace mdl::sim

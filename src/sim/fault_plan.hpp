@@ -1,0 +1,69 @@
+// Fault-injection plan for the federated network simulator (mdl::sim).
+//
+// The paper's federated schemes (§II) assume mobile participants: devices
+// that go offline mid-round, straggle on congested uplinks, and abandon
+// uploads when the radio drops. A FaultPlan captures those behaviours as a
+// small set of probabilities and time constants, and — together with a
+// 64-bit seed — fully determines every fault the simulator will inject.
+// Replaying a plan with the same seed reproduces the exact same fault
+// schedule, byte counts, and latencies (the determinism contract documented
+// in DESIGN.md §Fault simulation).
+#pragma once
+
+#include <cstdint>
+
+#include "core/serialize.hpp"
+
+namespace mdl::sim {
+
+/// Seeded description of everything that can go wrong in a round.
+/// Default-constructed plans inject no faults (loss-free network).
+struct FaultPlan {
+  /// Drives every fault draw. Exchanges are keyed by (seed, round, client),
+  /// so any single round replays independently of the others.
+  std::uint64_t seed = 42;
+
+  /// P(client is unavailable for the whole round): the device is offline,
+  /// on battery saver, or failed the server's eligibility check.
+  double dropout_prob = 0.0;
+
+  /// P(a transfer attempt straggles). A straggling attempt multiplies its
+  /// transfer time by 1 + Exp(mean = straggler_mean_slowdown).
+  double straggler_prob = 0.0;
+  double straggler_mean_slowdown = 8.0;
+
+  /// P(an upload attempt dies mid-transfer). A uniform fraction of the
+  /// payload was already sent — those bytes (and their energy) are wasted.
+  double truncation_prob = 0.0;
+
+  /// P(an upload attempt arrives corrupted). The full payload was sent but
+  /// fails the server's integrity check and is discarded.
+  double corruption_prob = 0.0;
+
+  /// Synchronous-round deadline in seconds; 0 disables it. A client whose
+  /// exchange (download + compute + upload + backoff) exceeds the deadline
+  /// is a deadline miss; an upload that *completes* past the deadline is
+  /// rejected as stale (same counter, bytes wasted).
+  double round_deadline_s = 0.0;
+
+  /// Upload attempts after the first failure; exponential backoff starting
+  /// at retry_backoff_s (doubles per retry) separates attempts.
+  std::int64_t max_retries = 2;
+  double retry_backoff_s = 0.5;
+
+  /// Fewer delivered updates than this aborts the round: the server keeps
+  /// the previous global model and discards every upload it received.
+  std::int64_t min_quorum = 1;
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// Throws mdl::Error if any knob is out of range.
+  void validate() const;
+
+  /// Versioned binary round-trip (used to archive experiment configs next
+  /// to their JSONL records).
+  void serialize(BinaryWriter& w) const;
+  static FaultPlan deserialize(BinaryReader& r);
+};
+
+}  // namespace mdl::sim

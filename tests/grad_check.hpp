@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <functional>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -15,19 +16,37 @@
 
 namespace mdl::test {
 
+/// Per-tensor summary of one check_gradient run, for diagnostics: which
+/// coordinate disagreed the most, and by how much.
+struct GradCheckStats {
+  double max_abs_diff = 0.0;  ///< max |analytic - numeric| over coords
+  double max_rel_diff = 0.0;  ///< same, scaled by max(|num|, |a|, 1)
+  std::int64_t worst_coord = -1;
+  double analytic_at_worst = 0.0;
+  double numeric_at_worst = 0.0;
+  std::int64_t coords_checked = 0;
+};
+
 /// Checks d(loss)/d(t) against central differences. `loss_fn` must
 /// recompute the full forward pass + loss from current tensor contents and
 /// `analytic_grad_fn` must return the freshly accumulated analytic gradient
 /// (called after loss_fn triggered a backward pass externally is NOT
-/// assumed: the caller wires backward inside analytic_grad_fn).
-inline void check_gradient(Tensor& t, const std::function<double()>& loss_fn,
-                           const std::function<Tensor()>& analytic_grad_fn,
-                           double eps = 1e-3, double tol = 2e-2,
-                           std::int64_t max_coords = 64) {
+/// assumed: the caller wires backward inside analytic_grad_fn). `name`
+/// labels the tensor (e.g. the parameter name) in failure messages; the
+/// returned stats carry the worst coordinate for further reporting.
+inline GradCheckStats check_gradient(
+    Tensor& t, const std::function<double()>& loss_fn,
+    const std::function<Tensor()>& analytic_grad_fn, double eps = 1e-3,
+    double tol = 2e-2, std::int64_t max_coords = 64,
+    const std::string& name = "") {
+  GradCheckStats stats;
+  const std::string label =
+      (name.empty() ? std::string("tensor") : "'" + name + "'") + " " +
+      t.shape_str();
   const Tensor analytic = analytic_grad_fn();
-  ASSERT_TRUE(analytic.same_shape(t))
-      << "analytic grad shape " << analytic.shape_str() << " vs tensor "
-      << t.shape_str();
+  EXPECT_TRUE(analytic.same_shape(t))
+      << "analytic grad shape " << analytic.shape_str() << " vs " << label;
+  if (!analytic.same_shape(t)) return stats;
   const std::int64_t stride =
       std::max<std::int64_t>(1, t.size() / max_coords);
   for (std::int64_t i = 0; i < t.size(); i += stride) {
@@ -40,9 +59,24 @@ inline void check_gradient(Tensor& t, const std::function<double()>& loss_fn,
     const double numeric = (plus - minus) / (2.0 * eps);
     const double a = analytic[i];
     const double denom = std::max({std::abs(numeric), std::abs(a), 1.0});
-    EXPECT_NEAR(a, numeric, tol * denom)
-        << "coordinate " << i << " of tensor " << t.shape_str();
+    const double abs_diff = std::abs(a - numeric);
+    if (abs_diff > stats.max_abs_diff) {
+      stats.max_abs_diff = abs_diff;
+      stats.worst_coord = i;
+      stats.analytic_at_worst = a;
+      stats.numeric_at_worst = numeric;
+    }
+    stats.max_rel_diff = std::max(stats.max_rel_diff, abs_diff / denom);
+    ++stats.coords_checked;
+    EXPECT_NEAR(a, numeric, tol * denom) << "coordinate " << i << " of "
+                                         << label;
   }
+  EXPECT_LE(stats.max_rel_diff, tol)
+      << label << ": max |analytic - numeric| = " << stats.max_abs_diff
+      << " at coordinate " << stats.worst_coord << " (analytic "
+      << stats.analytic_at_worst << ", numeric " << stats.numeric_at_worst
+      << ", " << stats.coords_checked << " coords checked)";
+  return stats;
 }
 
 }  // namespace mdl::test

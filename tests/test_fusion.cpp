@@ -51,7 +51,7 @@ TEST_P(FusionKindTest, ParameterGradientCheck) {
   nn::SoftmaxCrossEntropy loss;
   auto loss_fn = [&] { return loss.forward(fusion->forward(views), labels); };
   for (nn::Parameter* p : fusion->parameters()) {
-    test::check_gradient(
+    const test::GradCheckStats stats = test::check_gradient(
         p->value, loss_fn,
         [&] {
           loss_fn();
@@ -59,7 +59,8 @@ TEST_P(FusionKindTest, ParameterGradientCheck) {
           fusion->backward(loss.backward());
           return p->grad;
         },
-        1e-3, 3e-2, 48);
+        1e-3, 3e-2, 48, p->name);
+    EXPECT_GT(stats.coords_checked, 0) << p->name;
   }
 }
 
@@ -79,7 +80,7 @@ TEST_P(FusionKindTest, ViewGradientCheck) {
           fusion->zero_grad();
           return fusion->backward(loss.backward())[p];
         },
-        1e-3, 3e-2, 48);
+        1e-3, 3e-2, 48, "view_" + std::to_string(p));
   }
 }
 

@@ -189,6 +189,45 @@ TEST(SessionFeatures, ValuesAreFiniteAndSane) {
     }
 }
 
+TEST(Keystroke, SeededReplayIsIdentical) {
+  // The simulator is a pure function of its Rng: replaying the same seed
+  // must reproduce every profile field and every generated view exactly.
+  KeystrokeSimulator sim;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const UserProfile ua = sim.sample_user(rng_a);
+  const UserProfile ub = sim.sample_user(rng_b);
+  EXPECT_EQ(ua.hold_mean, ub.hold_mean);
+  EXPECT_EQ(ua.gap_mean, ub.gap_mean);
+  EXPECT_EQ(ua.keys_per_session, ub.keys_per_session);
+  EXPECT_EQ(ua.special_prefs, ub.special_prefs);
+  EXPECT_EQ(ua.gravity, ub.gravity);
+  EXPECT_EQ(ua.tremor_freq, ub.tremor_freq);
+
+  for (const int mood : {0, 1}) {
+    const MultiViewExample ea = sim.generate_session(ua, mood, rng_a);
+    const MultiViewExample eb = sim.generate_session(ub, mood, rng_b);
+    ASSERT_EQ(ea.views.size(), eb.views.size());
+    for (std::size_t v = 0; v < ea.views.size(); ++v)
+      EXPECT_TRUE(allclose(ea.views[v], eb.views[v], 0.0F))
+          << "mood " << mood << ", view " << v;
+  }
+
+  // And the same holds for a whole dataset build.
+  Rng rng_c(7);
+  Rng rng_d(7);
+  const MultiViewDataset da = sim.user_identification_dataset(3, 4, rng_c);
+  const MultiViewDataset db = sim.user_identification_dataset(3, 4, rng_d);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::int64_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.examples[i].label, db.examples[i].label);
+    EXPECT_EQ(da.examples[i].group, db.examples[i].group);
+    for (std::size_t v = 0; v < da.examples[i].views.size(); ++v)
+      EXPECT_TRUE(allclose(da.examples[i].views[v],
+                           db.examples[i].views[v], 0.0F));
+  }
+}
+
 TEST(Keystroke, InvalidConfigThrows) {
   KeystrokeConfig bad;
   bad.alnum_len = 0;

@@ -70,7 +70,7 @@ TEST(LSTM, ParameterGradientCheck) {
   SoftmaxCrossEntropy loss;
   auto loss_fn = [&] { return loss.forward(lstm.forward(seq), labels); };
   for (Parameter* p : lstm.parameters()) {
-    test::check_gradient(
+    const test::GradCheckStats stats = test::check_gradient(
         p->value, loss_fn,
         [&] {
           loss_fn();
@@ -78,7 +78,8 @@ TEST(LSTM, ParameterGradientCheck) {
           lstm.backward(loss.backward());
           return p->grad;
         },
-        1e-3, 3e-2, 16);
+        1e-3, 3e-2, 48, p->name);
+    EXPECT_GT(stats.coords_checked, 0) << p->name;
   }
 }
 
@@ -96,7 +97,7 @@ TEST(LSTM, InputGradientCheck) {
         lstm.zero_grad();
         return lstm.backward(loss.backward());
       },
-      1e-3, 3e-2, 24);
+      1e-3, 3e-2, 24, "input_seq");
 }
 
 TEST(LSTM, LearnsSequenceDiscrimination) {
