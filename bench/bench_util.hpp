@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "ckpt/checkpoint.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_logger.hpp"
@@ -60,6 +61,37 @@ inline void init_logging(int argc, char** argv) {
 
 /// True when a JSONL sink is active.
 inline bool json_enabled() { return detail::logger().enabled(); }
+
+/// Checkpoint/resume knobs shared by the training benches:
+///   --checkpoint-dir <dir>   periodic crash-safe checkpoints under <dir>
+///   --resume                 restore the newest verifiable checkpoint first
+/// Benches that run several trials should checkpoint each into its own
+/// subdirectory (see with_subdir).
+struct CheckpointArgs {
+  std::string dir;     ///< empty = checkpointing disabled
+  bool resume = false;
+};
+
+inline CheckpointArgs parse_checkpoint_args(int argc, char** argv) {
+  CheckpointArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--checkpoint-dir" && i + 1 < argc) args.dir = argv[i + 1];
+    if (arg == "--resume") args.resume = true;
+  }
+  return args;
+}
+
+/// Per-trial checkpoint config: <dir>/<subdir>, disabled when no --checkpoint-dir.
+inline ckpt::CheckpointConfig with_subdir(const CheckpointArgs& args,
+                                          const std::string& subdir) {
+  ckpt::CheckpointConfig cfg;
+  if (!args.dir.empty()) {
+    cfg.dir = args.dir + "/" + subdir;
+    cfg.resume = args.resume;
+  }
+  return cfg;
+}
 
 /// Starts a record pre-populated with the experiment id and event name
 /// ("round", "trial", ...). Add fields, then pass to log().

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
                 "Accuracy vs gradient upload fraction theta and participant "
                 "count,\nagainst centralized and standalone baselines.");
   bench::init_logging(argc, argv);
+  const bench::CheckpointArgs ckpt_args =
+      bench::parse_checkpoint_args(argc, argv);
 
   Rng rng(314);
   data::SyntheticConfig sc;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
     cfg.rounds = rounds;
     cfg.upload_fraction = theta;
     cfg.download_fraction = theta < 1.0 ? theta * 2.0 : 1.0;
+    cfg.checkpoint = bench::with_subdir(
+        ckpt_args, "theta" + std::to_string(static_cast<int>(theta * 100)));
     federated::SelectiveSGDTrainer trainer(factory, shards, cfg);
     const auto history = trainer.run(split.test);
     for (const federated::RoundStats& rs : history)
@@ -97,6 +101,8 @@ int main(int argc, char** argv) {
     cfg.rounds = rounds;
     cfg.upload_fraction = 0.1;
     cfg.download_fraction = 0.2;
+    cfg.checkpoint =
+        bench::with_subdir(ckpt_args, "n" + std::to_string(n));
     federated::SelectiveSGDTrainer trainer(factory, n_shards, cfg);
     const auto history = trainer.run(split.test);
     bench::log(bench::record("trial")

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
                 "shards\n(paper claim: 10-100x less communication for "
                 "federated averaging).");
   bench::init_logging(argc, argv);
+  const bench::CheckpointArgs ckpt_args =
+      bench::parse_checkpoint_args(argc, argv);
 
   Rng rng(271);
   data::SyntheticConfig sc;
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
     cfg.fedsgd = s.fedsgd;
     cfg.server_lr = 0.3;
     cfg.target_accuracy = target;
+    cfg.checkpoint = bench::with_subdir(
+        ckpt_args, std::string(s.fedsgd ? "fedsgd" : "fedavg") + "_E" +
+                       std::to_string(s.local_epochs));
     federated::FedAvgTrainer trainer(factory, shards, cfg);
     const auto history = trainer.run(split.test);
     const std::uint64_t bytes = trainer.ledger().total();
@@ -115,6 +120,9 @@ int main(int argc, char** argv) {
     cfg.batch_size = 16;
     cfg.target_accuracy = target;
     cfg.seed = 7;
+    cfg.checkpoint = bench::with_subdir(
+        ckpt_args,
+        "avail_dropout" + std::to_string(static_cast<int>(dropout * 100)));
 
     sim::FaultPlan plan;
     plan.seed = 93;

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
                 "User-level DP-FedAvg and example-level DP-SGD: accuracy vs "
                 "privacy budget\n(moments accountant, delta = 1e-5).");
   bench::init_logging(argc, argv);
+  const bench::CheckpointArgs ckpt_args =
+      bench::parse_checkpoint_args(argc, argv);
 
   Rng rng(161);
   data::SyntheticConfig sc;
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
     cfg.local_epochs = 5;
     cfg.clip_norm = 4.0;
     cfg.noise_multiplier = z;
+    cfg.checkpoint = bench::with_subdir(
+        ckpt_args,
+        "dp_fedavg_z" + std::to_string(static_cast<int>(z * 10)));
     privacy::DpFedAvgTrainer trainer(factory, shards, cfg);
     const auto history = trainer.run(split.test);
     for (const auto& rs : history)
@@ -85,6 +90,8 @@ int main(int argc, char** argv) {
     cfg.clip_norm = 1.0;
     cfg.noise_multiplier = z;
     cfg.lr = 0.25;
+    cfg.checkpoint = bench::with_subdir(
+        ckpt_args, "dp_sgd_z" + std::to_string(static_cast<int>(z * 10)));
     const privacy::DpSgdResult r =
         privacy::train_dp_sgd(*model, split.train, split.test, cfg);
     bench::log(bench::record("trial")

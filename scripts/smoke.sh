@@ -45,6 +45,37 @@ for bench in "${BENCHES[@]}"; do
   }
 done
 
+# Kill-and-resume: SIGKILL a checkpointing FedAvg run mid-training, resume
+# it in a fresh process, and require the final model to be byte-identical
+# to an uninterrupted run — the mdl::ckpt end-to-end guarantee.
+echo "=== kill-and-resume (mdl::ckpt) ==="
+RUNNER="$BUILD_DIR/tests/ckpt_resume_runner"
+CKPT_ROOT="$BUILD_DIR/smoke-ckpt"
+rm -rf "$CKPT_ROOT"
+mkdir -p "$CKPT_ROOT"
+"$RUNNER" --rounds 6 --seed 17 --out "$CKPT_ROOT/ref.bin"
+"$RUNNER" --rounds 6 --seed 17 --out "$CKPT_ROOT/killed.bin" \
+  --checkpoint-dir "$CKPT_ROOT/ckpt" --sleep-ms 300 &
+RUNNER_PID=$!
+for _ in $(seq 1 600); do
+  compgen -G "$CKPT_ROOT/ckpt/ckpt.*" > /dev/null && break
+  sleep 0.05
+done
+compgen -G "$CKPT_ROOT/ckpt/ckpt.*" > /dev/null || {
+  echo "error: no checkpoint appeared before the kill" >&2
+  exit 1
+}
+kill -9 "$RUNNER_PID"
+wait "$RUNNER_PID" || true
+[[ ! -f "$CKPT_ROOT/killed.bin" ]] || {
+  echo "error: killed run finished before SIGKILL landed" >&2
+  exit 1
+}
+"$RUNNER" --rounds 6 --seed 17 --out "$CKPT_ROOT/resumed.bin" \
+  --checkpoint-dir "$CKPT_ROOT/ckpt" --resume
+cmp "$CKPT_ROOT/ref.bin" "$CKPT_ROOT/resumed.bin"
+echo "kill-and-resume OK: resumed model byte-identical to uninterrupted run"
+
 echo "=== micro_kernels (filtered) ==="
 MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --json "$OUT_DIR/micro_kernels.jsonl" \

@@ -1,0 +1,50 @@
+// Crash-safe archive framing + atomic file I/O for mdl::ckpt.
+//
+// An archive is a self-verifying byte string:
+//
+//   [u32 magic "MDLK"] [u32 format version] [u64 payload length]
+//   [payload bytes]                                        (BinaryWriter)
+//   [u32 CRC-32 over header + payload]
+//
+// decode_archive() rejects anything whose framing, length field, or CRC
+// does not check out — a truncated file, a bit flip anywhere in header or
+// payload, and trailing garbage all throw mdl::Error before one payload
+// byte is interpreted. write_file_atomic() writes via a temp file +
+// fsync + rename (then fsyncs the directory), so a crash mid-write leaves
+// either the old file or the new one, never a half-written hybrid.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/serialize.hpp"
+
+namespace mdl::ckpt {
+
+/// Serializes payload content into an archive (see framing above).
+using PayloadWriter = std::function<void(BinaryWriter&)>;
+/// Deserializes payload content; must consume the payload exactly.
+using PayloadReader = std::function<void(BinaryReader&)>;
+
+/// Renders `payload` into a CRC-framed archive string.
+std::string encode_archive(const PayloadWriter& payload);
+
+/// Verifies framing + CRC of `bytes`, then runs `payload` over the payload
+/// region. Throws mdl::Error on any corruption, truncation, or if the
+/// reader does not consume the payload exactly.
+void decode_archive(const std::string& bytes, const PayloadReader& payload);
+
+/// Durable atomic replace: write `path`.tmp, fsync, rename onto `path`,
+/// fsync the parent directory. Throws mdl::Error on any I/O failure.
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file; throws mdl::Error if it cannot be opened/read.
+std::string read_file(const std::string& path);
+
+/// encode_archive + write_file_atomic.
+void save_archive(const std::string& path, const PayloadWriter& payload);
+
+/// read_file + decode_archive.
+void load_archive(const std::string& path, const PayloadReader& payload);
+
+}  // namespace mdl::ckpt

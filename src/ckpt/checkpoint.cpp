@@ -1,0 +1,207 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+
+namespace mdl::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kCheckpointPrefix = "ckpt.";
+constexpr std::uint32_t kManifestVersion = 1;
+
+/// Parses "ckpt.<round>" → round; nullopt for anything else (including the
+/// ".tmp" leftovers of an interrupted atomic write).
+std::optional<std::int64_t> parse_round(const std::string& filename) {
+  const std::string prefix = kCheckpointPrefix;
+  if (filename.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string digits = filename.substr(prefix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  return std::stoll(digits);
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointConfig config)
+    : config_(std::move(config)) {
+  MDL_CHECK(!config_.dir.empty(), "checkpoint directory must be non-empty");
+  MDL_CHECK(config_.every_n_rounds > 0, "checkpoint cadence must be > 0");
+  MDL_CHECK(config_.keep > 0, "must retain at least one checkpoint");
+  fs::create_directories(config_.dir);
+}
+
+std::string CheckpointManager::path_for_round(std::int64_t round) const {
+  return (fs::path(config_.dir) /
+          (kCheckpointPrefix + std::to_string(round)))
+      .string();
+}
+
+void CheckpointManager::write_manifest(
+    const std::vector<std::int64_t>& rounds) const {
+  save_archive((fs::path(config_.dir) / kManifestName).string(),
+               [&](BinaryWriter& w) {
+                 w.write_u32(kManifestVersion);
+                 w.write_u64(rounds.size());
+                 for (const std::int64_t r : rounds) w.write_i64(r);
+               });
+}
+
+std::vector<std::int64_t> CheckpointManager::list_rounds() const {
+  std::vector<std::int64_t> rounds;
+  const std::string manifest = (fs::path(config_.dir) / kManifestName).string();
+  bool from_manifest = false;
+  if (fs::exists(manifest)) {
+    try {
+      load_archive(manifest, [&](BinaryReader& r) {
+        const std::uint32_t version = r.read_u32();
+        MDL_CHECK(version == kManifestVersion,
+                  "unsupported manifest version " << version);
+        const std::uint64_t n = r.read_u64();
+        MDL_CHECK(n <= 1'000'000, "implausible manifest entry count " << n);
+        rounds.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+          rounds.push_back(r.read_i64());
+      });
+      from_manifest = true;
+    } catch (const Error&) {
+      // Corrupt/torn manifest: fall through to the directory scan.
+      MDL_OBS_COUNTER_ADD("ckpt.manifest_corrupt", 1);
+      rounds.clear();
+    }
+  }
+  if (!from_manifest) {
+    for (const auto& entry : fs::directory_iterator(config_.dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (const auto r = parse_round(entry.path().filename().string()))
+        rounds.push_back(*r);
+    }
+  }
+  std::sort(rounds.begin(), rounds.end());
+  // The manifest can momentarily disagree with the directory (crash between
+  // the checkpoint write and the manifest write); keep only entries whose
+  // file actually exists.
+  std::erase_if(rounds, [&](std::int64_t r) {
+    return !fs::exists(path_for_round(r));
+  });
+  return rounds;
+}
+
+void CheckpointManager::save(std::int64_t round,
+                             const PayloadWriter& payload) {
+  const std::string bytes = encode_archive(payload);
+  write_file_atomic(path_for_round(round), bytes);
+  MDL_OBS_COUNTER_ADD("ckpt.saves", 1);
+  MDL_OBS_COUNTER_ADD("ckpt.bytes_written", bytes.size());
+
+  std::vector<std::int64_t> rounds = list_rounds();
+  if (std::find(rounds.begin(), rounds.end(), round) == rounds.end()) {
+    rounds.push_back(round);
+    std::sort(rounds.begin(), rounds.end());
+  }
+  while (rounds.size() > static_cast<std::size_t>(config_.keep)) {
+    std::error_code ec;  // pruning is best effort
+    fs::remove(path_for_round(rounds.front()), ec);
+    rounds.erase(rounds.begin());
+  }
+  write_manifest(rounds);
+}
+
+std::optional<std::int64_t> CheckpointManager::load_latest(
+    const PayloadReader& payload) const {
+  std::vector<std::int64_t> rounds = list_rounds();
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    try {
+      load_archive(path_for_round(*it), payload);
+      return *it;
+    } catch (const Error&) {
+      // Truncated or corrupt — fall back to the previous checkpoint. The
+      // bad file is left in place for postmortems; the next save at this
+      // round overwrites it atomically.
+      MDL_OBS_COUNTER_ADD("ckpt.corrupt_skipped", 1);
+    }
+  }
+  return std::nullopt;
+}
+
+TrainerGuard::TrainerGuard(const CheckpointConfig& checkpoint,
+                           const HealthConfig& health, std::string trainer)
+    : health_(health), trainer_(std::move(trainer)) {
+  if (!checkpoint.dir.empty()) manager_.emplace(checkpoint);
+}
+
+std::int64_t TrainerGuard::begin(const PayloadWriter& save,
+                                 const PayloadReader& load) {
+  if (!active()) return 0;
+  std::int64_t completed = 0;
+  if (manager_ && manager_->config().resume) {
+    if (const auto round = manager_->load_latest(load)) {
+      completed = *round;
+      MDL_OBS_COUNTER_ADD("ckpt.resumes", 1);
+    }
+  }
+  // Snapshot the (fresh or restored) state so a guard trip on the very
+  // first round has something to roll back to.
+  last_good_ = encode_archive(save);
+  last_good_round_ = completed;
+  return completed;
+}
+
+TrainerGuard::Verdict TrainerGuard::end_of_round(
+    std::int64_t round, std::optional<double> loss,
+    std::span<const float> params, const PayloadWriter& save,
+    const PayloadReader& load) {
+  Verdict verdict;
+  verdict.resume_round = round;
+  if (!active()) return verdict;
+
+  verdict.health = health_.check(loss, params);
+  if (verdict.health == Health::kOk) {
+    if (health_.config().enabled || manager_) last_good_ = encode_archive(save);
+    last_good_round_ = round;
+    if (manager_ && round % manager_->config().every_n_rounds == 0)
+      manager_->save(round, save);
+    return verdict;
+  }
+
+  // Tripped: restore the last-good state and tell the trainer where to
+  // pick the loop back up (and how hard to cool the learning rate).
+  ++rollbacks_;
+  MDL_OBS_COUNTER_ADD("health.rollbacks", 1);
+  decode_archive(last_good_, load);
+  health_.reset();
+  verdict.rolled_back = true;
+  verdict.resume_round = last_good_round_;
+  verdict.lr_scale = health_.config().lr_decay_on_rollback;
+  if (rollbacks_ > health_.config().max_rollbacks) {
+    MDL_OBS_COUNTER_ADD("health.gave_up", 1);
+    verdict.give_up = true;
+  }
+  return verdict;
+}
+
+void write_state_header(BinaryWriter& w, const std::string& trainer,
+                        std::uint32_t version) {
+  w.write_string(trainer);
+  w.write_u32(version);
+}
+
+std::uint32_t read_state_header(BinaryReader& r, const std::string& trainer,
+                                std::uint32_t version) {
+  const std::string stored = r.read_string();
+  MDL_CHECK(stored == trainer, "checkpoint belongs to trainer `"
+                                   << stored << "`, expected `" << trainer
+                                   << "`");
+  const std::uint32_t stored_version = r.read_u32();
+  MDL_CHECK(stored_version >= 1 && stored_version <= version,
+            "unsupported " << trainer << " checkpoint version "
+                           << stored_version);
+  return stored_version;
+}
+
+}  // namespace mdl::ckpt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/serialize.hpp"
+
 namespace mdl {
 namespace {
 
@@ -166,6 +168,22 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   shuffle(idx);
   return idx;
+}
+
+void Rng::serialize(BinaryWriter& w) const {
+  for (const std::uint64_t word : s_) w.write_u64(word);
+  w.write_u8(has_cached_normal_ ? 1 : 0);
+  w.write_f64(cached_normal_);
+}
+
+Rng Rng::deserialize(BinaryReader& r) {
+  Rng rng(0);
+  for (auto& word : rng.s_) word = r.read_u64();
+  MDL_CHECK((rng.s_[0] | rng.s_[1] | rng.s_[2] | rng.s_[3]) != 0,
+            "corrupt Rng state: all-zero xoshiro words");
+  rng.has_cached_normal_ = r.read_u8() != 0;
+  rng.cached_normal_ = r.read_f64();
+  return rng;
 }
 
 }  // namespace mdl

@@ -17,6 +17,9 @@
 
 namespace mdl {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// xoshiro256** PRNG with distribution helpers. Copyable; copies evolve
 /// independently.
 class Rng {
@@ -70,6 +73,12 @@ class Rng {
 
   /// A random permutation of [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Writes the full engine state (xoshiro words + Box-Muller cache), so a
+  /// deserialized Rng continues the exact same stream — the basis of the
+  /// bit-identical checkpoint/resume guarantee in mdl::ckpt.
+  void serialize(BinaryWriter& w) const;
+  static Rng deserialize(BinaryReader& r);
 
  private:
   std::uint64_t s_[4];

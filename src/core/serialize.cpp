@@ -49,6 +49,25 @@ void BinaryWriter::write_u32_vector(const std::vector<std::uint32_t>& v) {
   write_bytes(v.data(), v.size() * sizeof(std::uint32_t));
 }
 
+std::optional<std::uint64_t> BinaryReader::bytes_remaining() {
+  const std::istream::pos_type cur = is_.tellg();
+  if (cur == std::istream::pos_type(-1)) return std::nullopt;
+  is_.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is_.tellg();
+  is_.seekg(cur);
+  if (end == std::istream::pos_type(-1) || end < cur) return std::nullopt;
+  return static_cast<std::uint64_t>(end - cur);
+}
+
+void BinaryReader::check_remaining(std::uint64_t need, const char* what) {
+  const std::optional<std::uint64_t> remaining = bytes_remaining();
+  if (!remaining.has_value()) return;  // non-seekable stream
+  MDL_CHECK(need <= *remaining,
+            "corrupt archive: " << what << " wants " << need
+                                << " bytes but only " << *remaining
+                                << " remain in the stream");
+}
+
 void BinaryReader::read_bytes(void* data, std::size_t n) {
   is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   MDL_CHECK(is_.gcount() == static_cast<std::streamsize>(n),
@@ -95,6 +114,7 @@ double BinaryReader::read_f64() {
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
   MDL_CHECK(n < (1ULL << 32), "implausible string length " << n);
+  check_remaining(n, "string body");
   std::string s(n, '\0');
   read_bytes(s.data(), n);
   return s;
@@ -104,7 +124,15 @@ Tensor BinaryReader::read_tensor() {
   const std::uint32_t nd = read_u32();
   MDL_CHECK(nd <= 8, "implausible tensor rank " << nd);
   std::vector<std::int64_t> shape(nd);
-  for (auto& d : shape) d = read_i64();
+  std::uint64_t elems = 1;
+  for (auto& d : shape) {
+    d = read_i64();
+    MDL_CHECK(d >= 0, "negative tensor dimension " << d);
+    MDL_CHECK(d == 0 || elems <= (1ULL << 40) / static_cast<std::uint64_t>(d),
+              "implausible tensor element count");
+    elems *= static_cast<std::uint64_t>(d);
+  }
+  check_remaining(elems * sizeof(float), "tensor data");
   Tensor t(shape);
   read_bytes(t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
   return t;
@@ -113,6 +141,7 @@ Tensor BinaryReader::read_tensor() {
 std::vector<float> BinaryReader::read_f32_vector() {
   const std::uint64_t n = read_u64();
   MDL_CHECK(n < (1ULL << 32), "implausible vector length " << n);
+  check_remaining(n * sizeof(float), "f32 vector");
   std::vector<float> v(n);
   read_bytes(v.data(), n * sizeof(float));
   return v;
@@ -121,6 +150,7 @@ std::vector<float> BinaryReader::read_f32_vector() {
 std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
   const std::uint64_t n = read_u64();
   MDL_CHECK(n < (1ULL << 32), "implausible vector length " << n);
+  check_remaining(n * sizeof(std::uint32_t), "u32 vector");
   std::vector<std::uint32_t> v(n);
   read_bytes(v.data(), n * sizeof(std::uint32_t));
   return v;

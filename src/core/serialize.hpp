@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -46,6 +47,10 @@ class BinaryWriter {
 };
 
 /// Streaming little-endian reader; throws mdl::Error on truncated input.
+/// Length-prefixed reads (string/tensor/vector) validate the stored length
+/// against the bytes actually remaining in the stream *before* allocating,
+/// so a corrupt length field throws a clean mdl::Error instead of
+/// attempting a multi-GB allocation.
 class BinaryReader {
  public:
   explicit BinaryReader(std::istream& is) : is_(is) {}
@@ -62,7 +67,14 @@ class BinaryReader {
   std::vector<float> read_f32_vector();
   std::vector<std::uint32_t> read_u32_vector();
 
+  /// Bytes between the cursor and end-of-stream; nullopt when the stream is
+  /// not seekable (then length validation degrades to plausibility caps).
+  std::optional<std::uint64_t> bytes_remaining();
+
  private:
+  /// Throws unless `need` bytes (a `what` field) remain in the stream.
+  void check_remaining(std::uint64_t need, const char* what);
+
   std::istream& is_;
 };
 

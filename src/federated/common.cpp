@@ -7,7 +7,8 @@
 namespace mdl::federated {
 
 namespace {
-constexpr std::uint32_t kRoundStatsVersion = 1;
+// v2 appended `rolled_back`; v1 archives deserialize with the default false.
+constexpr std::uint32_t kRoundStatsVersion = 2;
 }
 
 void serialize_round_stats(BinaryWriter& w, const RoundStats& s) {
@@ -25,11 +26,12 @@ void serialize_round_stats(BinaryWriter& w, const RoundStats& s) {
   w.write_u8(s.aborted ? 1 : 0);
   w.write_f64(s.sim_latency_s);
   w.write_f64(s.sim_energy_j);
+  w.write_u8(s.rolled_back ? 1 : 0);
 }
 
 RoundStats deserialize_round_stats(BinaryReader& r) {
   const std::uint32_t version = r.read_u32();
-  MDL_CHECK(version == kRoundStatsVersion,
+  MDL_CHECK(version >= 1 && version <= kRoundStatsVersion,
             "unsupported RoundStats version " << version);
   RoundStats s;
   s.round = r.read_i64();
@@ -45,6 +47,7 @@ RoundStats deserialize_round_stats(BinaryReader& r) {
   s.aborted = r.read_u8() != 0;
   s.sim_latency_s = r.read_f64();
   s.sim_energy_j = r.read_f64();
+  if (version >= 2) s.rolled_back = r.read_u8() != 0;
   return s;
 }
 

@@ -68,6 +68,9 @@ struct RoundStats {
   bool aborted = false;          ///< quorum not met; global model unchanged
   double sim_latency_s = 0.0;    ///< simulated synchronous-round latency
   double sim_energy_j = 0.0;     ///< simulated device energy for the round
+  /// The round tripped the health guard and was undone (ckpt::TrainerGuard);
+  /// training replayed it from the last-good state.
+  bool rolled_back = false;
 
   bool operator==(const RoundStats&) const = default;
 };

@@ -1,12 +1,57 @@
 #include "federated/fedavg.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
 
 namespace mdl::federated {
+
+namespace {
+constexpr std::uint32_t kFedAvgStateVersion = 1;
+}
+
+void FedAvgTrainer::save_state(BinaryWriter& w) const {
+  ckpt::write_state_header(w, "fedavg", kFedAvgStateVersion);
+  w.write_u64(config_.seed);
+  w.write_u8(net_ != nullptr ? 1 : 0);
+  if (net_ != nullptr) w.write_u64(net_->plan().seed);
+  w.write_f64(config_.client_lr);
+  w.write_f64(config_.server_lr);
+  rng_.serialize(w);
+  w.write_f32_vector(nn::flatten_values(global_->parameters()));
+  w.write_u64(ledger_.bytes_up);
+  w.write_u64(ledger_.bytes_down);
+}
+
+void FedAvgTrainer::load_state(BinaryReader& r) {
+  ckpt::read_state_header(r, "fedavg", kFedAvgStateVersion);
+  const std::uint64_t seed = r.read_u64();
+  MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
+                                      << seed << ", run uses "
+                                      << config_.seed);
+  const bool had_net = r.read_u8() != 0;
+  MDL_CHECK(had_net == (net_ != nullptr),
+            "checkpoint and run disagree on fault-network attachment");
+  if (had_net) {
+    const std::uint64_t plan_seed = r.read_u64();
+    MDL_CHECK(plan_seed == net_->plan().seed,
+              "checkpoint fault plan seed " << plan_seed << " vs "
+                                            << net_->plan().seed);
+  }
+  config_.client_lr = r.read_f64();
+  config_.server_lr = r.read_f64();
+  rng_ = Rng::deserialize(r);
+  const std::vector<float> w_global = r.read_f32_vector();
+  MDL_CHECK(static_cast<std::int64_t>(w_global.size()) == model_size_,
+            "checkpoint model has " << w_global.size() << " params, expected "
+                                    << model_size_);
+  nn::unflatten_into_values(w_global, global_->parameters());
+  ledger_.bytes_up = r.read_u64();
+  ledger_.bytes_down = r.read_u64();
+}
 
 FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
                              std::vector<data::TabularDataset> shards,
@@ -35,7 +80,12 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
   const auto global_params = global_->parameters();
   const auto worker_params = worker_->parameters();
 
-  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+  ckpt::TrainerGuard guard(config_.checkpoint, config_.health, "fedavg");
+  const ckpt::PayloadWriter save = [this](BinaryWriter& w) { save_state(w); };
+  const ckpt::PayloadReader load = [this](BinaryReader& r) { load_state(r); };
+  const std::int64_t start_round = guard.begin(save, load) + 1;
+
+  for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
     MDL_OBS_SPAN("fedavg.round");
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
@@ -134,6 +184,17 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     stats.train_loss = round_loss;
     stats.test_accuracy = evaluate_accuracy(*global_, test);
     stats.cumulative_bytes = ledger_.total();
+
+    // Health gate: a tripped round is recorded, undone (state restored to
+    // the last-good snapshot/checkpoint), and replayed with a cooler
+    // learning rate. Aborted rounds carry no meaningful loss.
+    const std::vector<float> w_now = nn::flatten_values(global_params);
+    const std::optional<double> health_loss =
+        (aborted || survivors.empty()) ? std::nullopt
+                                       : std::optional<double>(round_loss);
+    const ckpt::TrainerGuard::Verdict verdict =
+        guard.end_of_round(round, health_loss, w_now, save, load);
+    stats.rolled_back = verdict.rolled_back;
     history.push_back(stats);
 
     MDL_OBS_COUNTER_ADD("fedavg.rounds", 1);
@@ -143,6 +204,19 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
                         ledger_.bytes_down - bytes_down_before);
     MDL_OBS_GAUGE_SET("fedavg.test_accuracy", stats.test_accuracy);
     MDL_OBS_GAUGE_SET("fedavg.train_loss", stats.train_loss);
+
+    if (config_.on_round) config_.on_round(stats);
+
+    if (verdict.rolled_back) {
+      if (verdict.give_up) break;
+      // Compound the decay with the rollback count so repeated trips at the
+      // same round replay with strictly smaller rates (the restore above
+      // just reset client_lr to the last-good value).
+      config_.client_lr *=
+          std::pow(verdict.lr_scale, static_cast<double>(guard.rollbacks()));
+      round = verdict.resume_round;  // ++ resumes at resume_round + 1
+      continue;
+    }
 
     if (config_.target_accuracy > 0.0 &&
         stats.test_accuracy >= config_.target_accuracy)

@@ -13,6 +13,7 @@
 // from this trainer's CommLedger.
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
 
 namespace mdl::federated {
@@ -33,6 +34,14 @@ struct FedAvgConfig {
   /// Stop once test accuracy reaches this (negative = run all rounds).
   double target_accuracy = -1.0;
   std::uint64_t seed = 7;
+  /// Crash-safe checkpointing (disabled while checkpoint.dir is empty) and
+  /// numerical-health rollback for the round loop (ckpt::TrainerGuard).
+  ckpt::CheckpointConfig checkpoint;
+  ckpt::HealthConfig health;
+  /// Invoked after every completed round (including rolled-back ones),
+  /// *after* the round's checkpoint is on disk — kill/resume tests use it
+  /// to pace the run.
+  std::function<void(const RoundStats&)> on_round;
 };
 
 /// Simulated parameter server + K participants over tabular shards.
@@ -57,6 +66,12 @@ class FedAvgTrainer {
   std::int64_t model_size() const { return model_size_; }
 
  private:
+  /// Complete run state for crash-safe resume: config seed + fault-plan
+  /// seed guards, current client LR, RNG engine, flattened global model,
+  /// and the communication ledger.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
   ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   FedAvgConfig config_;

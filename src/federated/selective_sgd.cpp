@@ -10,6 +10,65 @@
 
 namespace mdl::federated {
 
+namespace {
+constexpr std::uint32_t kSelectiveSgdStateVersion = 1;
+}
+
+void SelectiveSGDTrainer::save_state(BinaryWriter& w) const {
+  ckpt::write_state_header(w, "selective_sgd", kSelectiveSgdStateVersion);
+  w.write_u64(config_.seed);
+  w.write_u8(net_ != nullptr ? 1 : 0);
+  if (net_ != nullptr) w.write_u64(net_->plan().seed);
+  w.write_f64(config_.lr);
+  rng_.serialize(w);
+  w.write_f32_vector(global_);
+  w.write_u32_vector(version_);
+  w.write_u64(locals_.size());
+  for (const std::vector<float>& local : locals_) w.write_f32_vector(local);
+  w.write_u32_vector(seen_version_);
+  w.write_u64(ledger_.bytes_up);
+  w.write_u64(ledger_.bytes_down);
+}
+
+void SelectiveSGDTrainer::load_state(BinaryReader& r) {
+  ckpt::read_state_header(r, "selective_sgd", kSelectiveSgdStateVersion);
+  const std::uint64_t seed = r.read_u64();
+  MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
+                                      << seed << ", run uses "
+                                      << config_.seed);
+  const bool had_net = r.read_u8() != 0;
+  MDL_CHECK(had_net == (net_ != nullptr),
+            "checkpoint and run disagree on fault-network attachment");
+  if (had_net) {
+    const std::uint64_t plan_seed = r.read_u64();
+    MDL_CHECK(plan_seed == net_->plan().seed,
+              "checkpoint fault plan seed " << plan_seed << " vs "
+                                            << net_->plan().seed);
+  }
+  config_.lr = r.read_f64();
+  rng_ = Rng::deserialize(r);
+  std::vector<float> global = r.read_f32_vector();
+  MDL_CHECK(global.size() == global_.size(),
+            "checkpoint model has " << global.size() << " params, expected "
+                                    << global_.size());
+  global_ = std::move(global);
+  version_ = r.read_u32_vector();
+  MDL_CHECK(version_.size() == global_.size(), "version vector size mismatch");
+  const std::uint64_t n_locals = r.read_u64();
+  MDL_CHECK(n_locals == locals_.size(),
+            "checkpoint has " << n_locals << " participants, run has "
+                              << locals_.size());
+  for (std::vector<float>& local : locals_) {
+    local = r.read_f32_vector();
+    MDL_CHECK(local.size() == global_.size(), "replica size mismatch");
+  }
+  seen_version_ = r.read_u32_vector();
+  MDL_CHECK(seen_version_.size() == locals_.size() * global_.size(),
+            "sync-state size mismatch");
+  ledger_.bytes_up = r.read_u64();
+  ledger_.bytes_down = r.read_u64();
+}
+
 SelectiveSGDTrainer::SelectiveSGDTrainer(
     ModelFactory factory, std::vector<data::TabularDataset> shards,
     SelectiveSGDConfig config)
@@ -47,7 +106,13 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
   history.reserve(static_cast<std::size_t>(config_.rounds));
   std::vector<std::size_t> order(p_count);
 
-  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+  ckpt::TrainerGuard guard(config_.checkpoint, config_.health,
+                           "selective_sgd");
+  const ckpt::PayloadWriter save = [this](BinaryWriter& w) { save_state(w); };
+  const ckpt::PayloadReader load = [this](BinaryReader& r) { load_state(r); };
+  const std::int64_t start_round = guard.begin(save, load) + 1;
+
+  for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
     MDL_OBS_SPAN("selective_sgd.round");
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
@@ -171,6 +236,15 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     } else {
       stats.clients_delivered = static_cast<std::int64_t>(shards_.size());
     }
+
+    // Health gate over the server vector; rounds where nobody participated
+    // carry no meaningful loss.
+    const std::optional<double> health_loss =
+        participants > 0 ? std::optional<double>(stats.train_loss)
+                         : std::nullopt;
+    const ckpt::TrainerGuard::Verdict verdict = guard.end_of_round(
+        round, health_loss, std::span<const float>(global_), save, load);
+    stats.rolled_back = verdict.rolled_back;
     history.push_back(stats);
 
     MDL_OBS_COUNTER_ADD("selective_sgd.rounds", 1);
@@ -181,6 +255,14 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
                         ledger_.bytes_down - bytes_down_before);
     MDL_OBS_GAUGE_SET("selective_sgd.test_accuracy", stats.test_accuracy);
     MDL_OBS_GAUGE_SET("selective_sgd.train_loss", stats.train_loss);
+
+    if (verdict.rolled_back) {
+      if (verdict.give_up) break;
+      config_.lr *=
+          std::pow(verdict.lr_scale, static_cast<double>(guard.rollbacks()));
+      nn::unflatten_into_values(global_, params);  // restored server vector
+      round = verdict.resume_round;
+    }
   }
   return history;
 }

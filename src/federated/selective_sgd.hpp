@@ -9,6 +9,7 @@
 // the paper's headline observation for this system.
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
 
 namespace mdl::federated {
@@ -23,6 +24,9 @@ struct SelectiveSGDConfig {
   std::int64_t batch_size = 16;
   double lr = 0.1;
   std::uint64_t seed = 11;
+  /// Crash-safe checkpointing + health rollback (ckpt::TrainerGuard).
+  ckpt::CheckpointConfig checkpoint;
+  ckpt::HealthConfig health;
 };
 
 /// Parameter server + N asynchronous participants (simulated round-robin).
@@ -50,6 +54,12 @@ class SelectiveSGDTrainer {
   std::int64_t model_size() const { return model_size_; }
 
  private:
+  /// Complete run state: seed guards, current LR, RNG, the server's
+  /// parameter/version vectors, every participant replica + its sync state,
+  /// and the communication ledger.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
   ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   SelectiveSGDConfig config_;

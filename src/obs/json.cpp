@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mdl::obs {
 
@@ -33,7 +34,12 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
+  if (!std::isfinite(v)) {
+    // A NaN/Inf reaching a log line is usually the first visible symptom of
+    // a numerically sick run — count it so dashboards can alarm on it.
+    MDL_OBS_COUNTER_ADD("health.nonfinite_values", 1);
+    return "null";
+  }
   char buf[40];
   if (v == std::floor(v) && std::abs(v) < 1e15) {
     std::snprintf(buf, sizeof(buf), "%.0f", v);

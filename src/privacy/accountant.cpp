@@ -100,4 +100,20 @@ void MomentsAccountant::reset() {
   std::fill(rdp_.begin(), rdp_.end(), 0.0);
 }
 
+void MomentsAccountant::serialize(BinaryWriter& w) const {
+  w.write_u64(rdp_.size());
+  for (const double v : rdp_) w.write_f64(v);
+}
+
+MomentsAccountant MomentsAccountant::deserialize(BinaryReader& r) {
+  const std::uint64_t n = r.read_u64();
+  MDL_CHECK(n >= 1 && n <= 1024, "implausible accountant order count " << n);
+  MomentsAccountant acc(static_cast<int>(n) + 1);
+  for (auto& v : acc.rdp_) {
+    v = r.read_f64();
+    MDL_CHECK(v >= 0.0, "corrupt accountant state: negative RDP " << v);
+  }
+  return acc;
+}
+
 }  // namespace mdl::privacy

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/serialize.hpp"
+
 namespace mdl::privacy {
 
 /// Accumulates RDP over steps of the subsampled Gaussian mechanism.
@@ -43,6 +45,11 @@ class MomentsAccountant {
   double rdp_at(int order) const;
 
   void reset();
+
+  /// Archives the spent budget (per-order RDP), so a resumed DP run keeps
+  /// charging the same ledger instead of silently restarting epsilon at 0.
+  void serialize(BinaryWriter& w) const;
+  static MomentsAccountant deserialize(BinaryReader& r);
 
  private:
   std::vector<double> rdp_;  ///< rdp_[i] = accumulated RDP at order i + 2

@@ -1,9 +1,53 @@
 #include "privacy/dp_fedavg.hpp"
 
+#include <cmath>
+
 #include "privacy/mechanisms.hpp"
 #include "sim/sim_network.hpp"
 
 namespace mdl::privacy {
+
+namespace {
+constexpr std::uint32_t kDpFedAvgStateVersion = 1;
+}
+
+void DpFedAvgTrainer::save_state(BinaryWriter& w) const {
+  ckpt::write_state_header(w, "dp_fedavg", kDpFedAvgStateVersion);
+  w.write_u64(config_.seed);
+  w.write_u8(net_ != nullptr ? 1 : 0);
+  if (net_ != nullptr) w.write_u64(net_->plan().seed);
+  w.write_f64(config_.client_lr);
+  rng_.serialize(w);
+  w.write_f32_vector(nn::flatten_values(global_->parameters()));
+  accountant_.serialize(w);
+}
+
+void DpFedAvgTrainer::load_state(BinaryReader& r) {
+  ckpt::read_state_header(r, "dp_fedavg", kDpFedAvgStateVersion);
+  const std::uint64_t seed = r.read_u64();
+  MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
+                                      << seed << ", run uses "
+                                      << config_.seed);
+  const bool had_net = r.read_u8() != 0;
+  MDL_CHECK(had_net == (net_ != nullptr),
+            "checkpoint and run disagree on fault-network attachment");
+  if (had_net) {
+    const std::uint64_t plan_seed = r.read_u64();
+    MDL_CHECK(plan_seed == net_->plan().seed,
+              "checkpoint fault plan seed " << plan_seed << " vs "
+                                            << net_->plan().seed);
+  }
+  config_.client_lr = r.read_f64();
+  rng_ = Rng::deserialize(r);
+  const std::vector<float> w_global = r.read_f32_vector();
+  const auto params = global_->parameters();
+  MDL_CHECK(static_cast<std::int64_t>(w_global.size()) ==
+                nn::total_size(params),
+            "checkpoint model has " << w_global.size() << " params, expected "
+                                    << nn::total_size(params));
+  nn::unflatten_into_values(w_global, params);
+  accountant_ = MomentsAccountant::deserialize(r);
+}
 
 DpFedAvgTrainer::DpFedAvgTrainer(federated::ModelFactory factory,
                                  std::vector<data::TabularDataset> shards,
@@ -34,20 +78,30 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
   std::vector<DpRoundStats> history;
   history.reserve(static_cast<std::size_t>(config_.rounds));
 
-  for (std::int64_t round = 1; round <= config_.rounds; ++round) {
+  ckpt::TrainerGuard guard(config_.checkpoint, config_.health, "dp_fedavg");
+  const ckpt::PayloadWriter save = [this](BinaryWriter& w) { save_state(w); };
+  const ckpt::PayloadReader load = [this](BinaryReader& r) { load_state(r); };
+  const std::int64_t start_round = guard.begin(save, load) + 1;
+
+  for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
     const std::vector<float> w_global = nn::flatten_values(global_params);
     std::vector<double> update_sum(p_count, 0.0);
 
     DpRoundStats stats;
     stats.round = round;
+    double round_loss = 0.0;
+    std::int64_t clients_run = 0;
 
     // One participant's contribution: local training from w_global, update
     // clipped to S (modification 2), summed into the aggregate.
     const auto run_client = [&](std::size_t k) {
       nn::unflatten_into_values(w_global, worker_params);
       Rng client_rng = rng_.fork();
-      federated::local_sgd(*worker_, shards_[k], config_.local_epochs,
-                           config_.batch_size, config_.client_lr, client_rng);
+      round_loss += federated::local_sgd(*worker_, shards_[k],
+                                         config_.local_epochs,
+                                         config_.batch_size,
+                                         config_.client_lr, client_rng);
+      ++clients_run;
       std::vector<float> update = nn::flatten_values(worker_params);
       for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
       nn::clip_l2(update, config_.clip_norm);  // modification 2
@@ -104,11 +158,31 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     // An aborted round releases nothing: the global model is unchanged and
     // the moments accountant is not charged.
 
+    stats.train_loss =
+        clients_run > 0 ? round_loss / static_cast<double>(clients_run) : 0.0;
     stats.test_accuracy = federated::evaluate_accuracy(*global_, test);
     stats.epsilon = config_.noise_multiplier > 0.0
                         ? accountant_.epsilon(config_.delta)
                         : std::numeric_limits<double>::infinity();
+
+    // Health gate over the released model. The noisy release can contain
+    // non-finite values if training blew up; rollback also rewinds the
+    // accountant so the undone round's budget charge is not double-counted.
+    const std::vector<float> w_now = nn::flatten_values(global_params);
+    const std::optional<double> health_loss =
+        clients_run > 0 ? std::optional<double>(stats.train_loss)
+                        : std::nullopt;
+    const ckpt::TrainerGuard::Verdict verdict =
+        guard.end_of_round(round, health_loss, w_now, save, load);
+    stats.rolled_back = verdict.rolled_back;
     history.push_back(stats);
+
+    if (verdict.rolled_back) {
+      if (verdict.give_up) break;
+      config_.client_lr *=
+          std::pow(verdict.lr_scale, static_cast<double>(guard.rollbacks()));
+      round = verdict.resume_round;
+    }
   }
   return history;
 }

@@ -14,6 +14,7 @@
 // sampling ratio p per round.
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
 #include "privacy/accountant.hpp"
 
@@ -29,16 +30,23 @@ struct DpFedAvgConfig {
   double noise_multiplier = 1.0;    ///< z
   double delta = 1e-5;
   std::uint64_t seed = 19;
+  /// Crash-safe checkpointing + health rollback (ckpt::TrainerGuard). The
+  /// checkpoint carries the moments accountant, so a resumed run keeps the
+  /// spent privacy budget.
+  ckpt::CheckpointConfig checkpoint;
+  ckpt::HealthConfig health;
 };
 
 struct DpRoundStats {
   std::int64_t round = 0;
   double test_accuracy = 0.0;
-  double epsilon = 0.0;  ///< cumulative, at config.delta
+  double train_loss = 0.0;  ///< mean local loss over delivered clients
+  double epsilon = 0.0;     ///< cumulative, at config.delta
   /// Fault-injection fields (zero without an attached SimNetwork).
   std::int64_t clients_selected = 0;
   std::int64_t clients_delivered = 0;
-  bool aborted = false;  ///< quorum not met; no release, no privacy charge
+  bool aborted = false;      ///< quorum not met; no release, no privacy charge
+  bool rolled_back = false;  ///< round tripped the health guard and was undone
 };
 
 /// Parameter server with user-level DP aggregation.
@@ -61,6 +69,11 @@ class DpFedAvgTrainer {
   const MomentsAccountant& accountant() const { return accountant_; }
 
  private:
+  /// Complete run state: seed guards, current client LR, RNG, flattened
+  /// global model, and the accountant's spent RDP.
+  void save_state(BinaryWriter& w) const;
+  void load_state(BinaryReader& r);
+
   federated::ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   DpFedAvgConfig config_;

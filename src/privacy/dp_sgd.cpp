@@ -32,9 +32,43 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
   MomentsAccountant accountant;
   nn::SoftmaxCrossEntropy loss;
   std::int64_t steps = 0;
+  double lr = config.lr;  // decayed by the guard after a rollback
+
+  constexpr std::uint32_t kDpSgdStateVersion = 1;
+  ckpt::TrainerGuard guard(config.checkpoint, config.health, "dp_sgd");
+  const ckpt::PayloadWriter save = [&](BinaryWriter& w) {
+    ckpt::write_state_header(w, "dp_sgd", kDpSgdStateVersion);
+    w.write_u64(config.seed);
+    w.write_f64(lr);
+    rng.serialize(w);
+    w.write_f32_vector(nn::flatten_values(params));
+    w.write_i64(steps);
+    accountant.serialize(w);
+  };
+  const ckpt::PayloadReader load = [&](BinaryReader& r) {
+    ckpt::read_state_header(r, "dp_sgd", kDpSgdStateVersion);
+    const std::uint64_t seed = r.read_u64();
+    MDL_CHECK(seed == config.seed, "checkpoint was written with seed "
+                                       << seed << ", run uses "
+                                       << config.seed);
+    lr = r.read_f64();
+    rng = Rng::deserialize(r);
+    const std::vector<float> w = r.read_f32_vector();
+    MDL_CHECK(w.size() == p_count, "checkpoint model has "
+                                       << w.size() << " params, expected "
+                                       << p_count);
+    nn::unflatten_into_values(w, params);
+    steps = r.read_i64();
+    accountant = MomentsAccountant::deserialize(r);
+  };
+  // "Rounds" are epochs here: guard.begin returns completed epochs.
+  const std::int64_t start_epoch = guard.begin(save, load);
 
   model.set_training(true);
-  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (std::int64_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    double epoch_loss_sum = 0.0;
+    std::int64_t epoch_lots = 0;
+    std::int64_t epoch_steps = 0;
     for (std::int64_t s = 0; s < steps_per_epoch; ++s) {
       MDL_OBS_SPAN("dp_sgd.step");
       // Poisson subsampling: each example joins the lot with probability q.
@@ -47,6 +81,7 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
                                 static_cast<double>(lot.size()));
 
       std::vector<double> grad_sum(p_count, 0.0);
+      double lot_loss = 0.0;
       for (const std::size_t i : lot) {
         // Per-example forward/backward (microbatch of one) so the clip is
         // genuinely per example.
@@ -55,7 +90,7 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
                                    static_cast<std::int64_t>(i) + 1);
         const std::int64_t y[] = {train.labels[i]};
         const Tensor logits = model.forward(x);
-        loss.forward(logits, y);
+        lot_loss += loss.forward(logits, y);
         model.zero_grad();
         model.backward(loss.backward());
         nn::clip_grad_global_norm(params, config.clip_norm);
@@ -75,20 +110,40 @@ DpSgdResult train_dp_sgd(nn::Sequential& model,
       std::size_t off = 0;
       for (nn::Parameter* p : params) {
         for (std::int64_t j = 0; j < p->value.size(); ++j)
-          p->value[j] -= static_cast<float>(config.lr) * noisy[off + static_cast<std::size_t>(j)];
+          p->value[j] -= static_cast<float>(lr) * noisy[off + static_cast<std::size_t>(j)];
         off += static_cast<std::size_t>(p->value.size());
         p->grad.zero();
       }
+      epoch_loss_sum += lot_loss / static_cast<double>(lot.size());
+      ++epoch_lots;
       ++steps;
+      ++epoch_steps;
       MDL_OBS_COUNTER_ADD("dp_sgd.steps", 1);
+    }
+
+    // The budget is charged per epoch (not once at the end) so that the
+    // checkpointed accountant always reflects exactly the steps taken.
+    if (config.noise_multiplier > 0.0)
+      accountant.add_steps(epoch_steps, q, config.noise_multiplier);
+
+    const std::optional<double> epoch_loss =
+        epoch_lots > 0
+            ? std::optional<double>(epoch_loss_sum /
+                                    static_cast<double>(epoch_lots))
+            : std::nullopt;
+    const ckpt::TrainerGuard::Verdict verdict = guard.end_of_round(
+        epoch + 1, epoch_loss,
+        std::span<const float>(nn::flatten_values(params)), save, load);
+    if (verdict.rolled_back) {
+      if (verdict.give_up) break;
+      lr *= std::pow(verdict.lr_scale, static_cast<double>(guard.rollbacks()));
+      epoch = verdict.resume_round - 1;  // ++ resumes at resume_round
     }
   }
 
-  if (config.noise_multiplier > 0.0)
-    accountant.add_steps(steps, q, config.noise_multiplier);
-
   DpSgdResult result;
   result.steps = steps;
+  result.rollbacks = guard.rollbacks();
   result.test_accuracy = federated::evaluate_accuracy(model, test);
   result.epsilon = config.noise_multiplier > 0.0
                        ? accountant.epsilon(config.delta)

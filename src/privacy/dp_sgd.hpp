@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
 #include "privacy/accountant.hpp"
 
@@ -23,12 +24,18 @@ struct DpSgdConfig {
   double noise_multiplier = 1.0;  ///< z; sigma = z * C
   double delta = 1e-5;
   std::uint64_t seed = 13;
+  /// Crash-safe checkpointing + health rollback at epoch granularity
+  /// (ckpt::TrainerGuard). The checkpoint carries the moments accountant,
+  /// so a resumed run keeps the spent privacy budget.
+  ckpt::CheckpointConfig checkpoint;
+  ckpt::HealthConfig health;
 };
 
 struct DpSgdResult {
   double test_accuracy = 0.0;
   double epsilon = 0.0;           ///< at config.delta, via moments accountant
   std::int64_t steps = 0;
+  std::int64_t rollbacks = 0;     ///< health-guard rollbacks taken
 };
 
 /// Trains `model` on `train` with DP-SGD and reports accuracy + (eps, delta).

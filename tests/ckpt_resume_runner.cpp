@@ -1,0 +1,96 @@
+// Helper binary for the kill-and-resume integration test (and the smoke
+// script). Runs a deterministic FedAvg workload with checkpointing and
+// writes the final flattened global model to --out as raw float32 bytes,
+// so two runs can be compared with a byte-level file compare.
+//
+//   ckpt_resume_runner --checkpoint-dir <dir> --out <file>
+//                      [--resume] [--rounds N] [--seed S] [--sleep-ms M]
+//
+// --sleep-ms pauses after every completed round (checkpoint already on
+// disk), giving the parent test a window to SIGKILL the process mid-run.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/random.hpp"
+#include "data/synthetic.hpp"
+#include "federated/fedavg.hpp"
+#include "nn/param_utils.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdl;
+
+  std::string ckpt_dir;
+  std::string out_path;
+  bool resume = false;
+  std::int64_t rounds = 6;
+  std::uint64_t seed = 17;
+  std::int64_t sleep_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--checkpoint-dir" && i + 1 < argc) ckpt_dir = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--rounds" && i + 1 < argc) rounds = std::stoll(argv[++i]);
+    else if (arg == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
+    else if (arg == "--sleep-ms" && i + 1 < argc)
+      sleep_ms = std::stoll(argv[++i]);
+    else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 2;
+    }
+  }
+  if (out_path.empty()) {
+    std::cerr << "--out is required\n";
+    return 2;
+  }
+
+  // Deterministic workload: everything below depends only on --seed.
+  Rng data_rng(1);
+  data::SyntheticConfig sc;
+  sc.num_samples = 400;
+  sc.num_features = 8;
+  sc.num_classes = 3;
+  sc.class_sep = 2.5;
+  const auto dataset = data::make_classification(sc, data_rng);
+  const auto split = data::train_test_split(dataset, 0.25, data_rng);
+  const auto shards = data::partition_dirichlet(split.train, 4, 0.5, data_rng);
+
+  federated::FedAvgConfig cfg;
+  cfg.rounds = rounds;
+  cfg.clients_per_round = 3;
+  cfg.local_epochs = 2;
+  cfg.seed = seed;
+  cfg.checkpoint.dir = ckpt_dir;
+  cfg.checkpoint.resume = resume;
+  if (sleep_ms > 0) {
+    cfg.on_round = [sleep_ms](const federated::RoundStats& rs) {
+      // The round's checkpoint is on disk by the time this runs; announce
+      // it so the parent knows a kill window is open.
+      std::cout << "round " << rs.round << " done\n" << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    };
+  }
+
+  federated::FedAvgTrainer trainer(federated::mlp_factory(8, 8, 3), shards,
+                                   cfg);
+  trainer.run(split.test);
+
+  const std::vector<float> w =
+      nn::flatten_values(trainer.global_model().parameters());
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(float)));
+  if (!out) {
+    std::cerr << "failed to write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "final model written: " << out_path << " (" << w.size()
+            << " floats)\n";
+  return 0;
+}

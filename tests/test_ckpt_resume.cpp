@@ -1,0 +1,194 @@
+// Kill-and-resume integration test: SIGKILL a checkpointing FedAvg run
+// mid-round, resume it in a fresh process, and require the final model to
+// be byte-identical to an uninterrupted run with the same seed. This is
+// the end-to-end proof behind mdl::ckpt — no in-process shortcuts, the
+// trainer really dies and really comes back from disk.
+//
+// The trainer binary comes in via MDL_CKPT_RUNNER_PATH (see
+// tests/CMakeLists.txt), mirroring the MDL_BENCH_E11_PATH idiom.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <csignal>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace mdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef MDL_CKPT_RUNNER_PATH
+#define MDL_CKPT_RUNNER_PATH "ckpt_resume_runner"
+#endif
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// fork + execv the runner with the given args; returns the child pid.
+pid_t spawn_runner(const std::vector<std::string>& args) {
+  std::vector<std::string> full;
+  full.emplace_back(MDL_CKPT_RUNNER_PATH);
+  full.insert(full.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  for (auto& a : full) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_for_exit(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+/// Runs the runner to completion; fails the test on nonzero exit.
+void run_to_completion(const std::vector<std::string>& args) {
+  const pid_t pid = spawn_runner(args);
+  ASSERT_GT(pid, 0);
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+}
+
+struct ResumeFixture : ::testing::Test {
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root = (fs::temp_directory_path() /
+            (std::string("mdl_resume_") + info->name()))
+               .string();
+    fs::remove_all(root);
+    fs::create_directories(root);
+    ASSERT_TRUE(fs::exists(MDL_CKPT_RUNNER_PATH))
+        << "runner binary missing: " << MDL_CKPT_RUNNER_PATH;
+  }
+  void TearDown() override { fs::remove_all(root); }
+
+  std::string root;
+};
+
+TEST_F(ResumeFixture, SigkillThenResumeIsBitIdentical) {
+  const std::string ref_out = root + "/ref.bin";
+  const std::string out = root + "/resumed.bin";
+  const std::string ckpt_dir = root + "/ckpt";
+  const std::vector<std::string> base{"--rounds", "6", "--seed", "17"};
+
+  // 1. Uninterrupted reference run (no checkpointing involved).
+  {
+    auto args = base;
+    args.insert(args.end(), {"--out", ref_out});
+    run_to_completion(args);
+  }
+
+  // 2. Checkpointing run, killed mid-training. --sleep-ms widens the
+  //    window after each round so the SIGKILL reliably lands mid-run.
+  {
+    auto args = base;
+    args.insert(args.end(), {"--out", out, "--checkpoint-dir", ckpt_dir,
+                             "--sleep-ms", "300"});
+    const pid_t pid = spawn_runner(args);
+    ASSERT_GT(pid, 0);
+
+    // Wait (bounded) until at least one checkpoint landed on disk, then
+    // kill without warning.
+    bool saw_ckpt = false;
+    for (int i = 0; i < 600 && !saw_ckpt; ++i) {
+      if (fs::exists(ckpt_dir))
+        for (const auto& e : fs::directory_iterator(ckpt_dir))
+          saw_ckpt |= e.path().filename().string().rfind("ckpt.", 0) == 0;
+      if (!saw_ckpt)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(saw_ckpt) << "no checkpoint appeared within 30s";
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    const int status = wait_for_exit(pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+    ASSERT_FALSE(fs::exists(out)) << "killed run should not have finished";
+  }
+
+  // 3. Resume in a fresh process and finish the remaining rounds.
+  {
+    auto args = base;
+    args.insert(args.end(),
+                {"--out", out, "--checkpoint-dir", ckpt_dir, "--resume"});
+    run_to_completion(args);
+  }
+
+  const std::string ref = read_bytes(ref_out);
+  const std::string resumed = read_bytes(out);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(resumed, ref) << "resumed model differs from uninterrupted run";
+}
+
+TEST_F(ResumeFixture, ResumeSkipsCorruptedNewestCheckpoint) {
+  const std::string ref_out = root + "/ref.bin";
+  const std::string out = root + "/resumed.bin";
+  const std::string ckpt_dir = root + "/ckpt";
+  const std::vector<std::string> base{"--rounds", "6", "--seed", "17"};
+
+  {
+    auto args = base;
+    args.insert(args.end(), {"--out", ref_out});
+    run_to_completion(args);
+  }
+
+  // Full checkpointing run of the first 4 rounds, clean exit.
+  {
+    std::vector<std::string> args{"--rounds", "4", "--seed", "17",
+                                  "--out", root + "/part1.bin",
+                                  "--checkpoint-dir", ckpt_dir};
+    run_to_completion(args);
+  }
+
+  // Corrupt the newest checkpoint the way a torn flash write would: flip a
+  // byte in the middle of the file.
+  std::int64_t newest = -1;
+  for (const auto& e : fs::directory_iterator(ckpt_dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("ckpt.", 0) == 0)
+      newest = std::max(newest,
+                        static_cast<std::int64_t>(std::stoll(name.substr(5))));
+  }
+  ASSERT_GE(newest, 2) << "need at least two checkpoints to corrupt one";
+  const std::string victim = ckpt_dir + "/ckpt." + std::to_string(newest);
+  std::string bytes = read_bytes(victim);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x20;
+  std::ofstream(victim, std::ios::binary | std::ios::trunc) << bytes;
+
+  // Resume: the corrupt round-`newest` archive must be detected by CRC and
+  // skipped in favor of the last good one, and the run must still converge
+  // to the bit-identical final model (earlier checkpoint -> more rounds
+  // replayed -> same deterministic stream).
+  {
+    auto args = base;
+    args.insert(args.end(),
+                {"--out", out, "--checkpoint-dir", ckpt_dir, "--resume"});
+    run_to_completion(args);
+  }
+
+  EXPECT_EQ(read_bytes(out), read_bytes(ref_out))
+      << "resume after corruption diverged from the reference run";
+}
+
+}  // namespace
+}  // namespace mdl

@@ -186,6 +186,18 @@ TEST(Json, NumberEncodingHandlesNonFinite) {
   EXPECT_EQ(json_number(std::nan("")), "null");
 }
 
+TEST(Json, NonFiniteEncodingBumpsHealthCounter) {
+  // Every non-finite value that degrades to JSON null is counted, so a log
+  // full of nulls is traceable to a numerical-health problem.
+  Counter& c =
+      MetricsRegistry::global().counter("health.nonfinite_values");
+  const std::uint64_t before = c.value();
+  json_number(std::nan(""));
+  json_number(-std::numeric_limits<double>::infinity());
+  json_number(1.25);  // finite: not counted
+  EXPECT_EQ(c.value(), before + 2);
+}
+
 TEST(Json, ParseRoundTripsEscapesAndTypes) {
   const Json v = Json::parse(
       R"({"s":"a\"b\n","n":-1.5,"t":true,"f":false,"z":null,"a":[1,2,3]})");

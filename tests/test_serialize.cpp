@@ -87,6 +87,71 @@ TEST(Serialize, TruncatedReadThrows) {
   EXPECT_THROW(r.read_u32(), Error);
 }
 
+TEST(Serialize, ImplausibleStringLengthThrows) {
+  // A corrupt length field must be rejected before any allocation is
+  // attempted — both the 32-bit plausibility cap and the remaining-bytes
+  // check fire as clean mdl::Error, never a bad_alloc or overread.
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1ULL << 40);  // absurd string length, no body
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), Error);
+}
+
+TEST(Serialize, StringLengthBeyondStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(1000);  // plausible length, but only 3 bytes follow
+  w.write_u8('a');
+  w.write_u8('b');
+  w.write_u8('c');
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), Error);
+}
+
+TEST(Serialize, ImplausibleVectorLengthThrows) {
+  for (const std::uint64_t n : {1ULL << 33, 1ULL << 62}) {
+    std::stringstream f32;
+    BinaryWriter wf(f32);
+    wf.write_u64(n);
+    BinaryReader rf(f32);
+    EXPECT_THROW(rf.read_f32_vector(), Error);
+
+    std::stringstream u32;
+    BinaryWriter wu(u32);
+    wu.write_u64(n);
+    BinaryReader ru(u32);
+    EXPECT_THROW(ru.read_u32_vector(), Error);
+  }
+}
+
+TEST(Serialize, CorruptTensorShapeThrows) {
+  {
+    std::stringstream ss;  // rank beyond the cap
+    BinaryWriter w(ss);
+    w.write_u32(9);
+    BinaryReader r(ss);
+    EXPECT_THROW(r.read_tensor(), Error);
+  }
+  {
+    std::stringstream ss;  // negative dimension
+    BinaryWriter w(ss);
+    w.write_u32(1);
+    w.write_i64(-4);
+    BinaryReader r(ss);
+    EXPECT_THROW(r.read_tensor(), Error);
+  }
+  {
+    std::stringstream ss;  // element count overflows the plausibility cap
+    BinaryWriter w(ss);
+    w.write_u32(2);
+    w.write_i64(1LL << 30);
+    w.write_i64(1LL << 30);
+    BinaryReader r(ss);
+    EXPECT_THROW(r.read_tensor(), Error);
+  }
+}
+
 TEST(Serialize, HeaderRoundTripAndValidation) {
   std::stringstream ss;
   BinaryWriter w(ss);
