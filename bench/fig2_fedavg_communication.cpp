@@ -10,10 +10,12 @@
 // how rounds-to-target and total bytes degrade on a realistic mobile
 // population. Every fault record is deterministic in the plan seed, so two
 // runs emit byte-identical JSONL.
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "core/table.hpp"
+#include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "federated/fedavg.hpp"
 #include "sim/sim_network.hpp"
@@ -66,7 +68,11 @@ int main(int argc, char** argv) {
         ckpt_args, std::string(s.fedsgd ? "fedsgd" : "fedavg") + "_E" +
                        std::to_string(s.local_epochs));
     federated::FedAvgTrainer trainer(factory, shards, cfg);
+    const auto wall0 = std::chrono::steady_clock::now();
     const auto history = trainer.run(split.test);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
     const std::uint64_t bytes = trainer.ledger().total();
     if (s.fedsgd) fedsgd_bytes = bytes;
 
@@ -84,7 +90,12 @@ int main(int argc, char** argv) {
                    .add("local_epochs", s.local_epochs)
                    .add("rounds", history.back().round)
                    .add("total_bytes", bytes)
-                   .add("final_accuracy", history.back().test_accuracy));
+                   .add("final_accuracy", history.back().test_accuracy)
+                   .add("threads",
+                        static_cast<std::int64_t>(shared_pool_threads()))
+                   .add("wall_s", wall_s)
+                   .add("wall_s_per_round",
+                        wall_s / static_cast<double>(history.back().round)));
 
     table.begin_row()
         .add(s.fedsgd ? "FedSGD" : "FedAvg")
@@ -139,7 +150,11 @@ int main(int argc, char** argv) {
 
     federated::FedAvgTrainer trainer(factory, shards, cfg);
     trainer.attach_network(&net);
+    const auto wall0 = std::chrono::steady_clock::now();
     const auto history = trainer.run(split.test);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
 
     for (const federated::RoundStats& rs : history)
       bench::log(bench::record("fault_round")
@@ -169,7 +184,12 @@ int main(int argc, char** argv) {
                    .add("total_bytes", trainer.ledger().total())
                    .add("final_accuracy", history.back().test_accuracy)
                    .add("sim_time_s", fc.sim_time_s)
-                   .add("device_energy_j", fc.energy_j));
+                   .add("device_energy_j", fc.energy_j)
+                   .add("threads",
+                        static_cast<std::int64_t>(shared_pool_threads()))
+                   .add("wall_s", wall_s)
+                   .add("wall_s_per_round",
+                        wall_s / static_cast<double>(history.back().round)));
 
     avail.begin_row()
         .add_percent(dropout)

@@ -12,7 +12,9 @@
 #include "compress/prune.hpp"
 #include "compress/quantize.hpp"
 #include "compress/sparse_matrix.hpp"
+#include "core/gemm.hpp"
 #include "core/tensor.hpp"
+#include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/gru.hpp"
@@ -21,17 +23,41 @@ namespace {
 
 using namespace mdl;
 
+// n^3 product through the blocked kernel at an explicit shared-pool size.
+// The 1-thread rows isolate the tiling gain; 2/8-thread rows add the
+// row-panel parallel path (only shapes above the flop threshold shard).
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::size_t saved = shared_pool_threads();
+  set_shared_pool_threads(threads);
   Rng rng(1);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul(a, b));
   }
+  set_shared_pool_threads(saved);
+  state.counters["threads"] = static_cast<double>(threads);
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->ArgsProduct({{32, 64, 128, 256}, {1, 2, 8}});
+
+// The retained naive reference kernel — the before side of the tiling A/B
+// (same numbers as running the whole binary under MDL_GEMM=naive).
+void BM_MatmulNaive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor out({n, n});
+    gemm::reference::matmul_acc(a, b, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MatmulNT(benchmark::State& state) {
   const std::int64_t n = state.range(0);

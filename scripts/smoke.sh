@@ -82,7 +82,9 @@ MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --benchmark_filter='BM_DenseMatvec|BM_GruStep/1' \
   --benchmark_min_time=0.01
 
-# Sanitizer pass: rebuild the fast unit tier with ASan+UBSan and run it.
+# Sanitizer pass: rebuild the fast unit tier with ASan+UBSan and run it,
+# then rebuild with TSan and run the concurrency surface (thread pool,
+# parallel GEMM, parallel federated/DP rounds) at two shared-pool sizes.
 # Skipped when the main build is already sanitized (MDL_SANITIZE set).
 if [[ -z "${MDL_SANITIZE:-}" ]]; then
   ASAN_DIR="${BUILD_DIR}-asan"
@@ -95,6 +97,20 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   cmake --build "$ASAN_DIR" -j "$(nproc)"
   UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$ASAN_DIR" -L unit --output-on-failure -j "$(nproc)"
+
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  echo "=== concurrency tests under TSan ($TSAN_DIR) ==="
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMDL_SANITIZE=thread \
+    -DMDL_BUILD_BENCH=OFF \
+    -DMDL_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target mdl_tests
+  for threads in 2 8; do
+    TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
+      "$TSAN_DIR/tests/mdl_tests" \
+      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*'
+  done
 fi
 
 echo "smoke OK: JSONL records in $OUT_DIR"

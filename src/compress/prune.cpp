@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <vector>
+
+#include "compress/sparse_matrix.hpp"
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
 
 namespace mdl::compress {
 
@@ -79,6 +84,72 @@ void mask_pruned_gradients(nn::Module& model) {
     for (std::int64_t i = 0; i < p->value.size(); ++i)
       if (p->value[i] == 0.0F) p->grad[i] = 0.0F;
   }
+}
+
+PrunedLinear::PrunedLinear(const nn::Linear& linear)
+    : in_(linear.in_features()),
+      out_(linear.out_features()),
+      weight_(linear.weight().value),
+      bias_(linear.has_bias() ? const_cast<nn::Linear&>(linear).bias().value
+                              : Tensor({0})) {}
+
+Tensor PrunedLinear::forward(const Tensor& x) {
+  MDL_CHECK(x.ndim() == 2 && x.shape(1) == in_,
+            "PrunedLinear(" << in_ << "->" << out_ << ") got input "
+                            << x.shape_str());
+  // y^T = W @ x^T through the explicit zero-skip kernel; the transposes
+  // are exact copies, so this matches the dense Linear bit for bit.
+  Tensor yt = pruned_matmul(weight_, x.transposed());  // [out, B]
+  Tensor y = yt.transposed();                          // [B, out]
+  if (bias_.size() > 0) add_row_broadcast(y, bias_);
+  return y;
+}
+
+Tensor PrunedLinear::backward(const Tensor&) {
+  MDL_FAIL("PrunedLinear is inference-only");
+}
+
+std::string PrunedLinear::name() const {
+  std::ostringstream os;
+  os << "PrunedLinear(" << in_ << "->" << out_ << ", "
+     << static_cast<int>(sparsity() * 100.0) << "% sparse)";
+  return os.str();
+}
+
+std::int64_t PrunedLinear::flops_per_example() const {
+  // Effective flops: only surviving weights do work.
+  const auto nnz = static_cast<std::int64_t>(
+      static_cast<double>(in_ * out_) * (1.0 - sparsity()));
+  return 2 * nnz + bias_.size();
+}
+
+double PrunedLinear::sparsity() const { return measure_sparsity(weight_); }
+
+std::uint64_t PrunedLinear::storage_bytes() const {
+  return CsrMatrix::from_dense(weight_).storage_bytes() +
+         static_cast<std::uint64_t>(bias_.size()) * 4;
+}
+
+std::unique_ptr<nn::Sequential> sparse_deploy_mlp(nn::Sequential& model) {
+  auto out = std::make_unique<nn::Sequential>();
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    nn::Module& layer = model.layer(i);
+    if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
+      out->append(std::make_unique<PrunedLinear>(*lin));
+    } else if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      out->emplace<nn::ReLU>();
+    } else if (dynamic_cast<nn::Sigmoid*>(&layer) != nullptr) {
+      out->emplace<nn::Sigmoid>();
+    } else if (dynamic_cast<nn::Tanh*>(&layer) != nullptr) {
+      out->emplace<nn::Tanh>();
+    } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
+      // Dropout is identity at inference; drop it from the deployed graph.
+    } else {
+      MDL_FAIL("sparse_deploy_mlp cannot rebuild layer " << layer.name());
+    }
+  }
+  out->set_training(false);
+  return out;
 }
 
 }  // namespace mdl::compress

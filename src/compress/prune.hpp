@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "core/tensor.hpp"
+#include "nn/linear.hpp"
 #include "nn/module.hpp"
 
 namespace mdl::compress {
@@ -28,5 +30,34 @@ double measure_model_sparsity(nn::Module& model);
 /// connections stay pruned during fine-tuning: call after backward, before
 /// the optimizer step.
 void mask_pruned_gradients(nn::Module& model);
+
+/// Inference-only dense layer over pruned (dense-stored) weights, computed
+/// through compress::pruned_matmul — the explicit zero-skip entry point
+/// that replaced the branch the dense GEMM kernels used to carry. Output
+/// matches the source Linear's forward exactly on finite inputs.
+/// backward() throws.
+class PrunedLinear : public nn::Module {
+ public:
+  explicit PrunedLinear(const nn::Linear& linear);
+
+  Tensor forward(const Tensor& x) override;
+  [[noreturn]] Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+  std::int64_t flops_per_example() const override;
+
+  double sparsity() const;
+  /// Deployable bytes if the weights ship in CSR (+ dense f32 bias).
+  std::uint64_t storage_bytes() const;
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Tensor weight_;  ///< [out, in], pruned, dense-stored
+  Tensor bias_;    ///< [out], empty if none
+};
+
+/// Rebuilds a Sequential of Linear/activations with every Linear replaced
+/// by its PrunedLinear (sparse-aware inference deployment form).
+std::unique_ptr<nn::Sequential> sparse_deploy_mlp(nn::Sequential& model);
 
 }  // namespace mdl::compress

@@ -30,6 +30,11 @@ class CsrMatrix {
   /// C = A @ B^T-free dense product: B is [cols, n] -> [rows, n].
   Tensor matmul(const Tensor& b) const;
 
+  /// True when converting `dense` to CSR and multiplying would beat the
+  /// dense kernel, i.e. the zero fraction clears `min_sparsity`.
+  static bool worth_sparsifying(const Tensor& dense,
+                                double min_sparsity = 0.5);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
@@ -50,5 +55,17 @@ class CsrMatrix {
   std::vector<std::uint32_t> cols_idx_;
   std::vector<std::uint32_t> row_ptr_;
 };
+
+/// C = A @ B for a dense-stored but magnitude-pruned A ([m,k] x [k,n]),
+/// skipping A's exact zeros. This is the zero-skip branch that used to sit
+/// inside the dense mdl::matmul kernels; it lives here now so dense GEMM is
+/// branch-free and the pruning path opts into sparsity explicitly. For an
+/// unpruned A this matches mdl::matmul bit for bit (skipping a zero term
+/// only differs on -0.0 / non-finite inputs, which pruned weights never
+/// contain).
+Tensor pruned_matmul(const Tensor& a, const Tensor& b);
+
+/// y = A @ x with the same zero-skip contract as pruned_matmul.
+Tensor pruned_matvec(const Tensor& a, const Tensor& x);
 
 }  // namespace mdl::compress

@@ -1,0 +1,93 @@
+// Blocked, register-tiled, thread-parallel dense GEMM kernels.
+//
+// Every dense product in mobiledl (matmul / matmul_acc / matmul_tn /
+// matmul_nt / matvec) funnels into the kernels declared here. The design is
+// constrained by the library's determinism guarantees (mdl::sim replay and
+// mdl::ckpt resume are bit-identity tests): results must not depend on the
+// thread count or on whether the blocked or the naive path ran.
+//
+// Accumulation policy (the library-wide contract, see DESIGN.md):
+//   every output element is a single float32 accumulation chain over
+//   k = 0, 1, ..., K-1 — one multiply-add per term, in ascending-k order,
+//   starting from the destination value (0 for the non-accumulating
+//   entry points).
+//
+// The blocked kernels preserve that chain exactly:
+//   - cache blocking over K processes k-blocks in ascending order and runs
+//     ascending-k inside each block, so the per-element term order is the
+//     naive order;
+//   - the micro-kernel unrolls K by 4 with an explicit scalar accumulator
+//     (`cj += a0*b0[j]; cj += a1*b1[j]; ...`), which vectorizes across j
+//     without reassociating the per-element chain;
+//   - thread parallelism shards C row panels: a row is computed start to
+//     finish by exactly one worker, so panel boundaries and worker count
+//     never touch the arithmetic.
+// Hence tiled == naive == tiled-at-N-threads, bit for bit (the
+// tests/test_gemm.cpp equivalence suite enforces this at 1/2/8 threads).
+//
+// Shapes below the blocking threshold take a direct serial loop (same
+// chain) so small recurrent steps (GRU/LSTM gates) pay no tiling or
+// dispatch overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace mdl::gemm {
+
+// Tile sizes. kKc * kNc floats of B (128 KiB) stay L2-resident across a row
+// panel; a C row segment (kNc floats) stays in L1 while its k-block runs.
+inline constexpr std::int64_t kPanelRows = 32;  ///< rows per parallel shard
+inline constexpr std::int64_t kKc = 256;        ///< k-block (macro kernel)
+inline constexpr std::int64_t kNc = 128;        ///< j-block (macro kernel)
+
+/// FLOP count (2*m*k*n) at and above which the blocked path is used.
+inline constexpr std::int64_t kBlockFlopThreshold = 1LL << 18;
+/// FLOP count at and above which row panels are sharded across the shared
+/// pool. Below it, even the blocked path runs on the calling thread.
+inline constexpr std::int64_t kParallelFlopThreshold = 1LL << 21;
+
+/// Kernel selector, settable at runtime for A/B benchmarking and debugging:
+/// MDL_GEMM=naive routes the public entry points through the reference
+/// kernels; MDL_GEMM=tiled (default) uses the blocked/parallel suite.
+enum class Mode { kTiled, kNaive };
+Mode mode();
+void set_mode(Mode m);
+
+// -- Blocked kernels ---------------------------------------------------------
+// Direct entry points (no threshold dispatch) used by the public tensor ops
+// and by the equivalence tests. All require pre-shaped outputs and
+// *accumulate* into them.
+
+/// out += A @ B for [m,k] x [k,n]; blocked and, above the parallel
+/// threshold, sharded over row panels of the shared pool.
+void tiled_matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += A^T @ B for [k,m] x [k,n] (packs A^T, then runs the blocked
+/// kernel; the packing copy is exact so the accumulation chain is
+/// unchanged).
+void tiled_matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += A @ B^T for [m,k] x [n,k] (packs B^T, then runs the blocked
+/// kernel).
+void tiled_matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += A @ x for [m,k] x [k]; row-sharded above the parallel threshold.
+void tiled_matvec_acc(const Tensor& a, const Tensor& x, Tensor& out);
+
+// -- Reference kernels -------------------------------------------------------
+// The retained naive loops that define the canonical accumulation order.
+// Serial, unblocked, branch-free inner loops. The equivalence suite compares
+// the tiled kernels against these bit for bit; MDL_GEMM=naive serves them
+// as the public kernels (the "before" baseline for perf evidence).
+namespace reference {
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
+void matvec_acc(const Tensor& a, const Tensor& x, Tensor& out);
+
+}  // namespace reference
+
+}  // namespace mdl::gemm

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/gemm.hpp"
+
 namespace mdl {
 namespace {
 
@@ -412,6 +414,12 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t) {
   return os << '}';
 }
 
+// The dense products below all route through mdl::gemm — blocked,
+// register-tiled, thread-parallel kernels bit-identical to the retained
+// naive reference at every thread count (see gemm.hpp for the accumulation
+// policy and the determinism argument). MDL_GEMM=naive swaps in the
+// reference loops at runtime for A/B benchmarking.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(0),
             "matmul shape mismatch " << a.shape_str() << " x "
@@ -422,48 +430,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
-  const std::int64_t m = a.shape(0);
-  const std::int64_t k = a.shape(1);
-  const std::int64_t n = b.shape(1);
-  MDL_CHECK(b.shape(0) == k && out.ndim() == 2 && out.shape(0) == m &&
-                out.shape(1) == n,
-            "matmul_acc shape mismatch");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j loop order: streams through B and C rows, cache friendly.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = po + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0F) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(0),
+            "matmul_acc shape mismatch " << a.shape_str() << " x "
+                                         << b.shape_str());
+  if (gemm::mode() == gemm::Mode::kNaive)
+    gemm::reference::matmul_acc(a, b, out);
+  else
+    gemm::tiled_matmul_acc(a, b, out);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(0) == b.shape(0),
             "matmul_tn shape mismatch " << a.shape_str() << " x "
                                         << b.shape_str());
-  const std::int64_t k = a.shape(0);
-  const std::int64_t m = a.shape(1);
-  const std::int64_t n = b.shape(1);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0F) continue;
-      float* crow = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Tensor out({a.shape(1), b.shape(1)});
+  if (gemm::mode() == gemm::Mode::kNaive)
+    gemm::reference::matmul_tn_acc(a, b, out);
+  else
+    gemm::tiled_matmul_tn_acc(a, b, out);
   return out;
 }
 
@@ -471,39 +455,30 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(1),
             "matmul_nt shape mismatch " << a.shape_str() << " x "
                                         << b.shape_str());
-  const std::int64_t m = a.shape(0);
-  const std::int64_t k = a.shape(1);
-  const std::int64_t n = b.shape(0);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk)
-        acc += static_cast<double>(arow[kk]) * brow[kk];
-      po[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  Tensor out({a.shape(0), b.shape(0)});
+  matmul_nt_acc(a, b, out);
   return out;
+}
+
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+  MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(1),
+            "matmul_nt_acc shape mismatch " << a.shape_str() << " x "
+                                            << b.shape_str());
+  if (gemm::mode() == gemm::Mode::kNaive)
+    gemm::reference::matmul_nt_acc(a, b, out);
+  else
+    gemm::tiled_matmul_nt_acc(a, b, out);
 }
 
 Tensor matvec(const Tensor& a, const Tensor& x) {
   MDL_CHECK(a.ndim() == 2 && x.ndim() == 1 && a.shape(1) == x.shape(0),
             "matvec shape mismatch " << a.shape_str() << " x "
                                      << x.shape_str());
-  const std::int64_t m = a.shape(0);
-  const std::int64_t k = a.shape(1);
-  Tensor out({m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (std::int64_t kk = 0; kk < k; ++kk)
-      acc += static_cast<double>(a[i * k + kk]) * x[kk];
-    out[i] = static_cast<float>(acc);
-  }
+  Tensor out({a.shape(0)});
+  if (gemm::mode() == gemm::Mode::kNaive)
+    gemm::reference::matvec_acc(a, x, out);
+  else
+    gemm::tiled_matvec_acc(a, x, out);
   return out;
 }
 

@@ -162,15 +162,26 @@ class Tensor {
 std::ostream& operator<<(std::ostream& os, const Tensor& t);
 
 // -- Linear algebra free functions -------------------------------------------
+//
+// All dense products share one accumulation policy (see gemm.hpp and
+// DESIGN.md): float32, ascending-k, one multiply-add per term. They are
+// backed by the blocked, thread-parallel mdl::gemm kernels and are
+// bit-identical at every thread count (MDL_THREADS) and in MDL_GEMM=naive
+// mode. Dense kernels carry no zero-skip branch; pruned weights should use
+// compress::pruned_matmul or a CsrMatrix.
 
 /// C = A @ B for 2-D tensors ([m,k] x [k,n] -> [m,n]).
 Tensor matmul(const Tensor& a, const Tensor& b);
-/// C = A^T @ B ([k,m] x [k,n] -> [m,n]) without materializing A^T.
+/// C = A^T @ B ([k,m] x [k,n] -> [m,n]).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
-/// C = A @ B^T ([m,k] x [n,k] -> [m,n]) without materializing B^T.
+/// C = A @ B^T ([m,k] x [n,k] -> [m,n]).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// out += A @ B; `out` must already be [m, n].
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
+/// out += A @ B^T; `out` must already be [m, n]. Lets fused layers (GRU /
+/// LSTM gate pre-activations) accumulate both input and recurrent products
+/// into one buffer without a temporary.
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
 /// y = A @ x for [m,k] x [k] -> [m].
 Tensor matvec(const Tensor& a, const Tensor& x);
 /// Adds a 1-D bias (length cols) to every row of a 2-D tensor in place.

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <memory>
+#include <string>
 
 #include "obs/metrics.hpp"
 
 namespace mdl {
+
+namespace {
+// Set for the lifetime of every worker thread; queried by parallel_for's
+// nested-parallelism guard. thread_local so no synchronization is needed.
+thread_local bool t_is_pool_worker = false;
+
+struct WorkerScope {
+  WorkerScope() { t_is_pool_worker = true; }
+  ~WorkerScope() { t_is_pool_worker = false; }
+};
+}  // namespace
+
+bool ThreadPool::current_thread_is_worker() { return t_is_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -40,6 +56,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::worker_loop() {
+  WorkerScope scope;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -60,7 +77,8 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& f) {
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1 ||
+      ThreadPool::current_thread_is_worker()) {
     for (std::size_t i = 0; i < n; ++i) f(i);
     return;
   }
@@ -96,6 +114,47 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+std::size_t default_shared_threads() {
+  if (const char* env = std::getenv("MDL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t& shared_size() {
+  static std::size_t size = default_shared_threads();
+  return size;
+}
+
+std::unique_ptr<ThreadPool>& shared_instance() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool* shared_pool() {
+  const std::size_t want = shared_size();
+  if (want <= 1) return nullptr;
+  auto& pool = shared_instance();
+  if (!pool || pool->num_threads() != want)
+    pool = std::make_unique<ThreadPool>(want);
+  return pool.get();
+}
+
+std::size_t shared_pool_threads() { return shared_size(); }
+
+void set_shared_pool_threads(std::size_t n) {
+  shared_size() = n == 0 ? default_shared_threads() : n;
+  // Drop an over/under-sized pool now so the next shared_pool() call
+  // rebuilds it; keeps at most one pool alive.
+  auto& pool = shared_instance();
+  if (pool && pool->num_threads() != shared_size()) pool.reset();
 }
 
 }  // namespace mdl

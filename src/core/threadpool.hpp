@@ -36,6 +36,12 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// parallel_for to run nested parallel regions inline: a worker that
+  /// blocked waiting on sub-jobs it submitted to its own pool would
+  /// deadlock once all workers do the same.
+  static bool current_thread_is_worker();
+
  private:
   void worker_loop();
 
@@ -47,11 +53,31 @@ class ThreadPool {
 };
 
 /// Runs f(i) for i in [0, n) across `pool`'s workers, blocking until all
-/// iterations finish. With a null pool or a single worker, runs inline.
+/// iterations finish. Runs inline (sequentially, on the calling thread)
+/// with a null pool, a single worker, n <= 1, or when the caller is itself
+/// a pool worker — the last case is the nested-parallelism guard: an inner
+/// parallel_for inside an outer one must not block a worker on jobs queued
+/// behind other blocked workers.
 /// If any iteration throws, remaining iterations are abandoned (workers
 /// stop claiming new indices), all workers are drained, and the first
-/// exception is rethrown to the caller.
+/// exception is rethrown to the caller (inline execution rethrows
+/// directly).
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& f);
+
+/// Process-wide shared pool used by the GEMM kernels and the federated
+/// trainers. Sized from MDL_THREADS (falling back to hardware concurrency)
+/// on first use; returns nullptr when sized to 1 so callers fall through
+/// to their serial paths without queueing overhead.
+ThreadPool* shared_pool();
+
+/// Number of threads the shared pool is (or would be) sized to.
+std::size_t shared_pool_threads();
+
+/// Re-sizes the shared pool (used by benchmarks to sweep thread counts and
+/// by tests; not thread-safe against concurrent shared_pool() use — call
+/// between parallel regions only). `n` = 0 restores the MDL_THREADS /
+/// hardware-concurrency default.
+void set_shared_pool_threads(std::size_t n);
 
 }  // namespace mdl

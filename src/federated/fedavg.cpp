@@ -1,8 +1,10 @@
 #include "federated/fedavg.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "core/threadpool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
@@ -68,17 +70,24 @@ FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
                                  << shards_.size() << " shards");
   MDL_CHECK(config_.rounds > 0, "rounds must be positive");
   global_ = factory_(rng_);
-  worker_ = factory_(rng_);
+  client_workers_.push_back(factory_(rng_));
   model_size_ = nn::total_size(global_->parameters());
-  MDL_CHECK(nn::total_size(worker_->parameters()) == model_size_,
+  MDL_CHECK(nn::total_size(client_workers_[0]->parameters()) == model_size_,
             "factory produced differently sized models");
+}
+
+void FedAvgTrainer::ensure_client_workers(std::size_t n) {
+  while (client_workers_.size() < n) {
+    Rng scratch(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (client_workers_.size() + 1)));
+    client_workers_.push_back(factory_(scratch));
+  }
 }
 
 std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
   std::vector<RoundStats> history;
   history.reserve(static_cast<std::size_t>(config_.rounds));
   const auto global_params = global_->parameters();
-  const auto worker_params = worker_->parameters();
 
   ckpt::TrainerGuard guard(config_.checkpoint, config_.health, "fedavg");
   const ckpt::PayloadWriter save = [this](BinaryWriter& w) { save_state(w); };
@@ -138,33 +147,57 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
       std::int64_t n_total = 0;
       for (const std::size_t k : survivors) n_total += shards_[k].size();
 
-      std::vector<double> aggregate(w_global.size(), 0.0);
-      for (const std::size_t k : survivors) {
-        MDL_OBS_SPAN("client_update");  // nests as fedavg.round/client_update
+      // Intra-round parallelism (see DESIGN.md): client RNGs are forked
+      // sequentially in survivor order (same rng_ stream as the serial
+      // loop), clients then train concurrently in isolated workspaces, and
+      // aggregation runs sequentially in survivor order — so the result is
+      // bit-identical at every thread count.
+      const std::size_t n_clients = survivors.size();
+      ensure_client_workers(n_clients);
+      std::vector<Rng> client_rngs;
+      client_rngs.reserve(n_clients);
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        if (net_ == nullptr) ledger_.dense_down(w_global.size());
+        client_rngs.push_back(rng_.fork());
+      }
+
+      std::vector<double> client_loss(n_clients, 0.0);
+      std::vector<std::vector<float>> uploads(n_clients);
+      std::vector<double> client_us(n_clients, 0.0);
+      parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
+        MDL_OBS_SPAN("client_update");  // fedavg.round/client_update inline
+        const auto t0 = std::chrono::steady_clock::now();
+        nn::Sequential& worker = *client_workers_[c];
+        const auto worker_params = worker.parameters();
         // Download current global model to the participant.
         nn::unflatten_into_values(w_global, worker_params);
-        if (net_ == nullptr) ledger_.dense_down(w_global.size());
-        const double weight = static_cast<double>(shards_[k].size()) /
-                              static_cast<double>(n_total);
-        Rng client_rng = rng_.fork();
-
         if (config_.fedsgd) {
-          round_loss +=
-              weight * full_batch_gradient(*worker_, shards_[k]);
-          const std::vector<float> g = nn::flatten_grads(worker_params);
-          for (std::size_t i = 0; i < g.size(); ++i)
-            aggregate[i] += weight * static_cast<double>(g[i]);
-          ledger_.dense_up(g.size());
+          client_loss[c] = full_batch_gradient(worker, shards_[survivors[c]]);
+          uploads[c] = nn::flatten_grads(worker_params);
         } else {
-          round_loss += weight * local_sgd(*worker_, shards_[k],
-                                           config_.local_epochs,
-                                           config_.batch_size,
-                                           config_.client_lr, client_rng);
-          const std::vector<float> w_k = nn::flatten_values(worker_params);
-          for (std::size_t i = 0; i < w_k.size(); ++i)
-            aggregate[i] += weight * static_cast<double>(w_k[i]);
-          ledger_.dense_up(w_k.size());
+          client_loss[c] =
+              local_sgd(worker, shards_[survivors[c]], config_.local_epochs,
+                        config_.batch_size, config_.client_lr,
+                        client_rngs[c]);
+          uploads[c] = nn::flatten_values(worker_params);
         }
+        client_us[c] = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      });
+
+      std::vector<double> aggregate(w_global.size(), 0.0);
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        const double weight =
+            static_cast<double>(shards_[survivors[c]].size()) /
+            static_cast<double>(n_total);
+        round_loss += weight * client_loss[c];
+        for (std::size_t i = 0; i < uploads[c].size(); ++i)
+          aggregate[i] += weight * static_cast<double>(uploads[c][i]);
+        ledger_.dense_up(uploads[c].size());
+        // Observed after the join, so the hot loop touches no shared
+        // metric state.
+        MDL_OBS_HISTOGRAM_OBSERVE("fedavg.client_us", client_us[c]);
       }
 
       // Server update.

@@ -72,12 +72,19 @@ class FedAvgTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
+  /// Grows the workspace pool to `n` models. Extra workspaces are built
+  /// from throwaway RNGs (their weights are overwritten before use), so
+  /// the trainer's rng_ stream is untouched.
+  void ensure_client_workers(std::size_t n);
+
   ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   FedAvgConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> global_;
-  std::unique_ptr<nn::Sequential> worker_;  ///< reused client workspace
+  /// Per-client workspaces for the parallel local-training pass; one model
+  /// per concurrently trained client.
+  std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
   sim::SimNetwork* net_ = nullptr;

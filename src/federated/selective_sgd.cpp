@@ -1,9 +1,12 @@
 #include "federated/selective_sgd.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
+#include "core/threadpool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
@@ -92,6 +95,14 @@ SelectiveSGDTrainer::SelectiveSGDTrainer(
   seen_version_.assign(shards_.size() * global_.size(), 0);
 }
 
+void SelectiveSGDTrainer::ensure_client_workers(std::size_t n) {
+  while (client_workers_.size() < n) {
+    Rng scratch(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (client_workers_.size() + 1)));
+    client_workers_.push_back(factory_(scratch));
+  }
+}
+
 std::vector<RoundStats> SelectiveSGDTrainer::run(
     const data::TabularDataset& test) {
   const auto params = eval_model_->parameters();
@@ -104,7 +115,6 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
 
   std::vector<RoundStats> history;
   history.reserve(static_cast<std::size_t>(config_.rounds));
-  std::vector<std::size_t> order(p_count);
 
   ckpt::TrainerGuard guard(config_.checkpoint, config_.health,
                            "selective_sgd");
@@ -136,58 +146,78 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
       report = net_->run_round(round, all, bytes_down, bytes_up);
     }
 
-    double round_loss = 0.0;
-    std::int64_t participants = 0;
+    // Round-start server snapshot: every participant downloads from the
+    // same (g0, v0), which is what lets them train concurrently. Accepted
+    // uploads merge afterwards in fixed participant order, so the round is
+    // bit-identical at every thread count.
+    const std::vector<float> g0 = global_;
+    const std::vector<std::uint32_t> v0 = version_;
+
+    // Prologue (sequential, fixed order): surviving participants, their
+    // pre-forked RNG streams, and acceptance flags.
+    std::vector<std::size_t> active;
+    std::vector<Rng> client_rngs;
+    std::vector<bool> accepted;
+    active.reserve(shards_.size());
     for (std::size_t k = 0; k < shards_.size(); ++k) {
       const sim::ClientExchange* ex =
           net_ != nullptr ? &report.clients[k] : nullptr;
       if (ex != nullptr && ex->outcome == sim::Outcome::kDropout) continue;
-      ++participants;
+      active.push_back(k);
+      client_rngs.push_back(rng_.fork());
+      accepted.push_back(ex == nullptr ||
+                         (ex->delivered() && !report.aborted));
+    }
+    const std::size_t n_active = active.size();
+    ensure_client_workers(n_active);
+
+    // Parallel phase: download from the snapshot, train the replica, pick
+    // the top-theta_u upload coordinates. Everything touched is
+    // per-participant state; the shared g0/v0 are read-only.
+    std::vector<double> client_loss(n_active, 0.0);
+    std::vector<std::vector<std::pair<std::uint32_t, float>>> uploads(
+        n_active);
+    std::vector<double> client_us(n_active, 0.0);
+    parallel_for(shared_pool(), n_active, [&](std::size_t c) {
       MDL_OBS_SPAN("participant_update");
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t k = active[c];
       std::vector<float>& local = locals_[k];
       std::uint32_t* seen = seen_version_.data() + k * p_count;
+      std::vector<std::size_t> order(p_count);
 
       // -- Download: theta_d fraction of the most-stale coordinates -------
       if (config_.download_fraction >= 1.0) {
         for (std::size_t i = 0; i < p_count; ++i) {
-          local[i] = global_[i];
-          seen[i] = version_[i];
+          local[i] = g0[i];
+          seen[i] = v0[i];
         }
-        ledger_.dense_down(p_count);
       } else {
         const std::size_t dl = top_k(config_.download_fraction);
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::nth_element(order.begin(),
                          order.begin() + static_cast<std::ptrdiff_t>(dl - 1),
                          order.end(), [&](std::size_t a, std::size_t b) {
-                           return version_[a] - seen[a] >
-                                  version_[b] - seen[b];
+                           return v0[a] - seen[a] > v0[b] - seen[b];
                          });
         for (std::size_t j = 0; j < dl; ++j) {
           const std::size_t i = order[j];
-          local[i] = global_[i];
-          seen[i] = version_[i];
+          local[i] = g0[i];
+          seen[i] = v0[i];
         }
-        ledger_.sparse_down(dl);
       }
 
-      // -- Local training ---------------------------------------------------
-      nn::unflatten_into_values(local, params);
-      Rng client_rng = rng_.fork();
-      round_loss += local_sgd(*eval_model_, shards_[k], config_.local_epochs,
-                              config_.batch_size, config_.lr, client_rng);
-      const std::vector<float> after = nn::flatten_values(params);
+      // -- Local training -------------------------------------------------
+      nn::Sequential& worker = *client_workers_[c];
+      const auto worker_params = worker.parameters();
+      nn::unflatten_into_values(local, worker_params);
+      client_loss[c] =
+          local_sgd(worker, shards_[k], config_.local_epochs,
+                    config_.batch_size, config_.lr, client_rngs[c]);
+      const std::vector<float> after = nn::flatten_values(worker_params);
 
-      // -- Upload: theta_u fraction of largest |accumulated gradient| -----
-      // Under fault injection a failed (or abort-discarded) upload never
-      // reaches the server: the replica keeps its progress, the parameter
-      // server sees nothing, and the attempted traffic is wasted bytes.
-      // Traffic burned on failed attempts counts even when a later retry
-      // succeeded.
-      if (ex != nullptr) ledger_.wasted_up(ex->bytes_wasted);
-      const bool accepted =
-          ex == nullptr || (ex->delivered() && !report.aborted);
-      if (accepted) {
+      // -- Upload selection: theta_u largest |accumulated gradient| -------
+      if (accepted[c]) {
         std::vector<float> delta(p_count);
         for (std::size_t i = 0; i < p_count; ++i)
           delta[i] = after[i] - local[i];
@@ -198,21 +228,51 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
                          order.end(), [&](std::size_t a, std::size_t b) {
                            return std::abs(delta[a]) > std::abs(delta[b]);
                          });
+        uploads[c].reserve(ul);
         for (std::size_t j = 0; j < ul; ++j) {
-          const std::size_t i = order[j];
-          global_[i] += delta[i];
+          const auto i = static_cast<std::uint32_t>(order[j]);
+          uploads[c].emplace_back(i, delta[i]);
+        }
+      }
+
+      local = after;  // the replica keeps all of its own progress
+      client_us[c] = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    });
+
+    // Merge (sequential, fixed participant order): accepted uploads land on
+    // the server vector; the ledger is settled here so its byte counts stay
+    // exact and deterministic. Under fault injection a failed (or
+    // abort-discarded) upload never reaches the server: the replica keeps
+    // its progress, the server sees nothing, and the attempted traffic is
+    // wasted bytes (failed attempts count even when a later retry
+    // succeeded).
+    double round_loss = 0.0;
+    const auto participants = static_cast<std::int64_t>(n_active);
+    for (std::size_t c = 0; c < n_active; ++c) {
+      const sim::ClientExchange* ex =
+          net_ != nullptr ? &report.clients[active[c]] : nullptr;
+      round_loss += client_loss[c];
+      if (config_.download_fraction >= 1.0)
+        ledger_.dense_down(p_count);
+      else
+        ledger_.sparse_down(top_k(config_.download_fraction));
+      if (ex != nullptr) ledger_.wasted_up(ex->bytes_wasted);
+      if (accepted[c]) {
+        for (const auto& [i, d] : uploads[c]) {
+          global_[i] += d;
           ++version_[i];
         }
         if (config_.upload_fraction >= 1.0)
-          ledger_.dense_up(ul);
+          ledger_.dense_up(uploads[c].size());
         else
-          ledger_.sparse_up(ul);
+          ledger_.sparse_up(uploads[c].size());
       } else if (ex->delivered()) {
         // Delivered into an aborted round: discarded by the server.
         ledger_.wasted_up(ex->bytes_up_ok);
       }
-
-      local = after;  // the replica keeps all of its own progress
+      MDL_OBS_HISTOGRAM_OBSERVE("selective_sgd.client_us", client_us[c]);
     }
 
     nn::unflatten_into_values(global_, params);

@@ -29,7 +29,13 @@ struct SelectiveSGDConfig {
   ckpt::HealthConfig health;
 };
 
-/// Parameter server + N asynchronous participants (simulated round-robin).
+/// Parameter server + N participants, run as synchronous rounds: every
+/// participant downloads its selective fraction from the round-start server
+/// snapshot, participants train concurrently (bit-identical at every thread
+/// count), and accepted uploads merge into the server vector in fixed
+/// participant order. (Earlier revisions simulated a round-robin where a
+/// participant could see same-round uploads of its predecessors; the
+/// snapshot semantics admit parallel clients — see DESIGN.md.)
 class SelectiveSGDTrainer {
  public:
   SelectiveSGDTrainer(ModelFactory factory,
@@ -52,6 +58,9 @@ class SelectiveSGDTrainer {
 
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
+  /// The server's flat parameter vector (bit-exact state, e.g. for the
+  /// cross-thread-count determinism tests).
+  const std::vector<float>& global_parameters() const { return global_; }
 
  private:
   /// Complete run state: seed guards, current LR, RNG, the server's
@@ -60,11 +69,17 @@ class SelectiveSGDTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
+  /// Grows the per-participant workspace pool (throwaway-RNG models whose
+  /// weights are overwritten before use; rng_ stream untouched).
+  void ensure_client_workers(std::size_t n);
+
   ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   SelectiveSGDConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> eval_model_;  ///< workspace for evaluation
+  /// Isolated workspaces for the parallel local-training pass.
+  std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
   std::vector<float> global_;                   ///< server parameter vector
   std::vector<std::uint32_t> version_;          ///< per-coordinate update count
   std::vector<std::vector<float>> locals_;      ///< per-participant replicas

@@ -9,11 +9,14 @@
 namespace mdl::nn {
 namespace {
 
-// y = x @ W^T + h @ U^T + b for gate pre-activations.
+// y = x @ W^T + h @ U^T + b for gate pre-activations. The recurrent
+// product accumulates straight into the input product's buffer
+// (matmul_nt_acc), saving a [batch, hidden] temporary and an add pass per
+// gate per step.
 Tensor gate_preact(const Tensor& x, const Tensor& w, const Tensor& h,
                    const Tensor& u, const Tensor& b) {
   Tensor a = matmul_nt(x, w);
-  a.add_(matmul_nt(h, u));
+  matmul_nt_acc(h, u, a);
   add_row_broadcast(a, b);
   return a;
 }

@@ -11,7 +11,7 @@ namespace {
 Tensor gate_preact(const Tensor& x, const Tensor& w, const Tensor& h,
                    const Tensor& u, const Tensor& b) {
   Tensor a = matmul_nt(x, w);
-  a.add_(matmul_nt(h, u));
+  matmul_nt_acc(h, u, a);  // accumulate in place: no per-gate temporary
   add_row_broadcast(a, b);
   return a;
 }

@@ -1,7 +1,10 @@
 #include "privacy/dp_fedavg.hpp"
 
+#include <chrono>
 #include <cmath>
 
+#include "core/threadpool.hpp"
+#include "obs/metrics.hpp"
 #include "privacy/mechanisms.hpp"
 #include "sim/sim_network.hpp"
 
@@ -63,13 +66,20 @@ DpFedAvgTrainer::DpFedAvgTrainer(federated::ModelFactory factory,
   MDL_CHECK(config_.clip_norm > 0.0, "clip norm must be positive");
   MDL_CHECK(config_.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
   global_ = factory_(rng_);
-  worker_ = factory_(rng_);
+  client_workers_.push_back(factory_(rng_));
+}
+
+void DpFedAvgTrainer::ensure_client_workers(std::size_t n) {
+  while (client_workers_.size() < n) {
+    Rng scratch(config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                (client_workers_.size() + 1)));
+    client_workers_.push_back(factory_(scratch));
+  }
 }
 
 std::vector<DpRoundStats> DpFedAvgTrainer::run(
     const data::TabularDataset& test) {
   const auto global_params = global_->parameters();
-  const auto worker_params = worker_->parameters();
   const std::size_t p_count =
       static_cast<std::size_t>(nn::total_size(global_params));
   const double expected_cohort =
@@ -92,29 +102,17 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     double round_loss = 0.0;
     std::int64_t clients_run = 0;
 
-    // One participant's contribution: local training from w_global, update
-    // clipped to S (modification 2), summed into the aggregate.
-    const auto run_client = [&](std::size_t k) {
-      nn::unflatten_into_values(w_global, worker_params);
-      Rng client_rng = rng_.fork();
-      round_loss += federated::local_sgd(*worker_, shards_[k],
-                                         config_.local_epochs,
-                                         config_.batch_size,
-                                         config_.client_lr, client_rng);
-      ++clients_run;
-      std::vector<float> update = nn::flatten_values(worker_params);
-      for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
-      nn::clip_l2(update, config_.clip_norm);  // modification 2
-      for (std::size_t i = 0; i < p_count; ++i)
-        update_sum[i] += static_cast<double>(update[i]);
-    };
-
+    // Prologue (sequential): modification 1 — independent sampling — and
+    // the per-client RNG forks, both consuming rng_ in fixed order so the
+    // stream matches the serial formulation exactly.
+    std::vector<std::size_t> participants;
+    std::vector<Rng> client_rngs;
     bool aborted = false;
     if (net_ != nullptr) {
-      // Modification 1 (independent sampling) happens first; the sampled
-      // cohort then runs the gauntlet of the fault plan. Lost updates just
-      // shrink the realized cohort — the fixed-denominator estimator keeps
-      // the sensitivity bound, so no DP correction is needed.
+      // The sampled cohort runs the gauntlet of the fault plan. Lost
+      // updates just shrink the realized cohort — the fixed-denominator
+      // estimator keeps the sensitivity bound, so no DP correction is
+      // needed.
       std::vector<std::size_t> sampled;
       for (std::size_t k = 0; k < shards_.size(); ++k)
         if (rng_.bernoulli(config_.client_sample_prob)) sampled.push_back(k);
@@ -128,14 +126,51 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
       stats.aborted = aborted;
       if (!aborted)
         for (const sim::ClientExchange& ex : report.clients)
-          if (ex.delivered()) run_client(ex.client);
+          if (ex.delivered()) {
+            participants.push_back(ex.client);
+            client_rngs.push_back(rng_.fork());
+          }
     } else {
       for (std::size_t k = 0; k < shards_.size(); ++k) {
         if (!rng_.bernoulli(config_.client_sample_prob)) continue;
         ++stats.clients_selected;
-        run_client(k);
+        participants.push_back(k);
+        client_rngs.push_back(rng_.fork());
       }
       stats.clients_delivered = stats.clients_selected;
+    }
+
+    // Parallel phase: each participant trains from w_global in its own
+    // workspace and clips its update to S (modification 2). The clipped
+    // updates are summed afterwards in fixed participant order, so the
+    // aggregate is bit-identical at every thread count.
+    const std::size_t n_clients = participants.size();
+    ensure_client_workers(n_clients);
+    std::vector<double> client_loss(n_clients, 0.0);
+    std::vector<std::vector<float>> updates(n_clients);
+    std::vector<double> client_us(n_clients, 0.0);
+    parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
+      const auto t0 = std::chrono::steady_clock::now();
+      nn::Sequential& worker = *client_workers_[c];
+      const auto worker_params = worker.parameters();
+      nn::unflatten_into_values(w_global, worker_params);
+      client_loss[c] = federated::local_sgd(
+          worker, shards_[participants[c]], config_.local_epochs,
+          config_.batch_size, config_.client_lr, client_rngs[c]);
+      std::vector<float> update = nn::flatten_values(worker_params);
+      for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
+      nn::clip_l2(update, config_.clip_norm);  // modification 2
+      updates[c] = std::move(update);
+      client_us[c] = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    });
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      round_loss += client_loss[c];
+      ++clients_run;
+      for (std::size_t i = 0; i < p_count; ++i)
+        update_sum[i] += static_cast<double>(updates[c][i]);
+      MDL_OBS_HISTOGRAM_OBSERVE("dp_fedavg.client_us", client_us[c]);
     }
 
     if (!aborted) {

@@ -74,12 +74,17 @@ class DpFedAvgTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
+  /// Grows the per-client workspace pool (throwaway-RNG models whose
+  /// weights are overwritten before use; rng_ stream untouched).
+  void ensure_client_workers(std::size_t n);
+
   federated::ModelFactory factory_;
   std::vector<data::TabularDataset> shards_;
   DpFedAvgConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> global_;
-  std::unique_ptr<nn::Sequential> worker_;
+  /// Isolated workspaces for the parallel local-training pass.
+  std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
   MomentsAccountant accountant_;
   sim::SimNetwork* net_ = nullptr;
 };

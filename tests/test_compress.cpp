@@ -122,6 +122,68 @@ TEST(Prune, GradientMaskKeepsZerosPruned) {
     EXPECT_EQ(w->grad[i], w->value[i] == 0.0F ? 0.0F : 1.0F);
 }
 
+// --------------------------------------------- sparse-aware entry points
+
+TEST(SparseEntry, PrunedMatmulMatchesDenseBitForBit) {
+  // The zero-skip branch moved out of the dense kernels into
+  // pruned_matmul; on pruned weights its output is still identical to the
+  // (now branch-free) dense kernel.
+  Rng rng(40);
+  Tensor a = Tensor::randn({13, 21}, rng);
+  prune_by_magnitude(a, 0.6);
+  const Tensor b = Tensor::randn({21, 9}, rng);
+  const Tensor dense = matmul(a, b);
+  const Tensor sparse = pruned_matmul(a, b);
+  ASSERT_TRUE(sparse.same_shape(dense));
+  for (std::int64_t i = 0; i < dense.size(); ++i)
+    EXPECT_EQ(sparse[i], dense[i]) << "element " << i;
+}
+
+TEST(SparseEntry, PrunedMatvecMatchesDenseBitForBit) {
+  Rng rng(41);
+  Tensor a = Tensor::randn({17, 23}, rng);
+  prune_by_magnitude(a, 0.7);
+  const Tensor x = Tensor::randn({23}, rng);
+  const Tensor dense = matvec(a, x);
+  const Tensor sparse = pruned_matvec(a, x);
+  for (std::int64_t i = 0; i < dense.size(); ++i)
+    EXPECT_EQ(sparse[i], dense[i]);
+}
+
+TEST(SparseEntry, WorthSparsifyingThreshold) {
+  Rng rng(42);
+  Tensor dense = Tensor::randn({10, 10}, rng);
+  EXPECT_FALSE(CsrMatrix::worth_sparsifying(dense));
+  prune_by_magnitude(dense, 0.8);
+  EXPECT_TRUE(CsrMatrix::worth_sparsifying(dense));
+  EXPECT_FALSE(CsrMatrix::worth_sparsifying(dense, 0.9));
+}
+
+TEST(SparseEntry, PrunedLinearMatchesDenseForward) {
+  Rng rng(43);
+  nn::Linear dense(14, 6, rng);
+  prune_by_magnitude(dense.weight().value, 0.5);
+  PrunedLinear sparse(dense);
+  EXPECT_NEAR(sparse.sparsity(), 0.5, 0.01);
+  EXPECT_GT(sparse.storage_bytes(), 0U);
+
+  const Tensor x = Tensor::randn({5, 14}, rng);
+  const Tensor want = dense.forward(x);
+  const Tensor got = sparse.forward(x);
+  EXPECT_TRUE(allclose(got, want, 0.0F));  // bit-exact
+  EXPECT_THROW(sparse.backward(Tensor({5, 6})), Error);
+  EXPECT_THROW(sparse.forward(Tensor({5, 13})), Error);
+}
+
+TEST(SparseEntry, SparseDeployMlpMatchesSource) {
+  Rng rng(44);
+  auto model = federated::mlp_factory(8, 10, 3)(rng);
+  prune_model(*model, 0.6);
+  auto deployed = sparse_deploy_mlp(*model);
+  const Tensor x = Tensor::randn({7, 8}, rng);
+  EXPECT_TRUE(allclose(deployed->forward(x), model->forward(x), 0.0F));
+}
+
 // -------------------------------------------------------------- Quantize
 
 TEST(Quantize, RoundTripPreservesShapeAndZeros) {

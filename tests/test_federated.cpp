@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "federated/fedavg.hpp"
 #include "federated/selective_sgd.hpp"
+#include "nn/param_utils.hpp"
 
 namespace mdl::federated {
 namespace {
@@ -143,6 +147,73 @@ TEST_F(FedFixture, SelectiveInvalidFractionsThrow) {
   cfg.upload_fraction = 0.5;
   cfg.download_fraction = 1.5;
   EXPECT_THROW(SelectiveSGDTrainer(factory, shards, cfg), Error);
+}
+
+// -------------------------------------- intra-round parallel determinism
+//
+// The local-training phase of each round runs under parallel_for; the
+// contract (DESIGN.md) is that the trained global model is bit-identical
+// at every shared-pool size. Run the same config serially (pool size 1 ->
+// inline execution) and with 8 threads, and compare the models bitwise.
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+struct SharedPoolOverride {
+  explicit SharedPoolOverride(std::size_t n) : saved(shared_pool_threads()) {
+    set_shared_pool_threads(n);
+  }
+  ~SharedPoolOverride() { set_shared_pool_threads(saved); }
+  std::size_t saved;
+};
+
+TEST_F(FedFixture, FedAvgBitIdenticalAcrossThreadCounts) {
+  FedAvgConfig cfg;
+  cfg.rounds = 4;
+  cfg.clients_per_round = 5;
+  cfg.local_epochs = 2;
+
+  std::vector<float> serial_weights;
+  std::vector<RoundStats> serial_history;
+  {
+    SharedPoolOverride pool(1);
+    FedAvgTrainer trainer(factory, shards, cfg);
+    serial_history = trainer.run(test_set);
+    serial_weights = nn::flatten_values(trainer.global_model().parameters());
+  }
+  SharedPoolOverride pool(8);
+  FedAvgTrainer trainer(factory, shards, cfg);
+  const auto history = trainer.run(test_set);
+  const std::vector<float> weights =
+      nn::flatten_values(trainer.global_model().parameters());
+
+  EXPECT_TRUE(bits_equal(serial_weights, weights));
+  ASSERT_EQ(history.size(), serial_history.size());
+  for (std::size_t r = 0; r < history.size(); ++r) {
+    EXPECT_EQ(history[r].train_loss, serial_history[r].train_loss);
+    EXPECT_EQ(history[r].test_accuracy, serial_history[r].test_accuracy);
+  }
+}
+
+TEST_F(FedFixture, SelectiveSgdBitIdenticalAcrossThreadCounts) {
+  SelectiveSGDConfig cfg;
+  cfg.rounds = 4;
+  cfg.upload_fraction = 0.2;
+  cfg.download_fraction = 0.5;
+
+  std::vector<float> serial_global;
+  {
+    SharedPoolOverride pool(1);
+    SelectiveSGDTrainer trainer(factory, shards, cfg);
+    trainer.run(test_set);
+    serial_global = trainer.global_parameters();
+  }
+  SharedPoolOverride pool(8);
+  SelectiveSGDTrainer trainer(factory, shards, cfg);
+  trainer.run(test_set);
+  EXPECT_TRUE(bits_equal(serial_global, trainer.global_parameters()));
 }
 
 TEST(FederatedCommon, MlpFactoryShapes) {

@@ -1,0 +1,205 @@
+// Kernel-equivalence suite for the blocked/parallel GEMM kernels.
+//
+// The contract under test (gemm.hpp): the tiled kernels produce output
+// BIT-IDENTICAL to the retained naive reference, at every thread count.
+// This is what lets the deterministic-replay (mdl::sim) and checkpoint
+// bit-identity (mdl::ckpt) guarantees survive the parallel kernels.
+#include "core/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/random.hpp"
+#include "core/tensor.hpp"
+#include "core/threadpool.hpp"
+
+namespace mdl {
+namespace {
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+/// Restores the shared-pool size on scope exit so tests don't leak their
+/// thread-count override into each other.
+struct PoolGuard {
+  PoolGuard() : saved(shared_pool_threads()) {}
+  ~PoolGuard() { set_shared_pool_threads(saved); }
+  std::size_t saved;
+};
+
+// The sweep: odd sizes, tall/skinny, 1xN, Nx1, and tile-boundary +-1 around
+// the panel (32), KC (256) and NC (128) edges; the last entries exceed the
+// blocking and parallel flop thresholds so the tiled/parallel paths engage.
+struct Shape {
+  std::int64_t m, k, n;
+};
+const std::vector<Shape>& shapes() {
+  static const std::vector<Shape> s = {
+      {1, 1, 1},    {1, 7, 1},     {1, 5, 64},   {64, 5, 1},  {3, 9, 7},
+      {17, 13, 29}, {2, 300, 2},   {100, 3, 5},  {31, 8, 31}, {32, 8, 32},
+      {33, 8, 33},  {5, 255, 127}, {5, 256, 128}, {5, 257, 129},
+      {63, 64, 65}, {96, 300, 72}, {130, 270, 140}};
+  return s;
+}
+
+class GemmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmEquivalence, MatmulBitIdenticalToReference) {
+  PoolGuard guard;
+  set_shared_pool_threads(static_cast<std::size_t>(GetParam()));
+  Rng rng(42);
+  for (const Shape& s : shapes()) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor want({s.m, s.n});
+    gemm::reference::matmul_acc(a, b, want);
+    Tensor got({s.m, s.n});
+    gemm::tiled_matmul_acc(a, b, got);
+    EXPECT_TRUE(bit_identical(want, got))
+        << "matmul " << s.m << "x" << s.k << "x" << s.n << " at "
+        << GetParam() << " threads";
+  }
+}
+
+TEST_P(GemmEquivalence, MatmulAccAccumulatesIntoExisting) {
+  PoolGuard guard;
+  set_shared_pool_threads(static_cast<std::size_t>(GetParam()));
+  Rng rng(43);
+  for (const Shape& s : shapes()) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor want = Tensor::randn({s.m, s.n}, rng);
+    Tensor got = want;
+    gemm::reference::matmul_acc(a, b, want);
+    gemm::tiled_matmul_acc(a, b, got);
+    EXPECT_TRUE(bit_identical(want, got))
+        << "matmul_acc " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(GemmEquivalence, MatmulTnBitIdenticalToReference) {
+  PoolGuard guard;
+  set_shared_pool_threads(static_cast<std::size_t>(GetParam()));
+  Rng rng(44);
+  for (const Shape& s : shapes()) {
+    const Tensor a = Tensor::randn({s.k, s.m}, rng);  // [k, m]
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor want({s.m, s.n});
+    gemm::reference::matmul_tn_acc(a, b, want);
+    Tensor got({s.m, s.n});
+    gemm::tiled_matmul_tn_acc(a, b, got);
+    EXPECT_TRUE(bit_identical(want, got))
+        << "matmul_tn " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(GemmEquivalence, MatmulNtBitIdenticalToReference) {
+  PoolGuard guard;
+  set_shared_pool_threads(static_cast<std::size_t>(GetParam()));
+  Rng rng(45);
+  for (const Shape& s : shapes()) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.n, s.k}, rng);  // [n, k]
+    Tensor want({s.m, s.n});
+    gemm::reference::matmul_nt_acc(a, b, want);
+    Tensor got({s.m, s.n});
+    gemm::tiled_matmul_nt_acc(a, b, got);
+    EXPECT_TRUE(bit_identical(want, got))
+        << "matmul_nt " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(GemmEquivalence, MatvecBitIdenticalToReference) {
+  PoolGuard guard;
+  set_shared_pool_threads(static_cast<std::size_t>(GetParam()));
+  Rng rng(46);
+  for (const Shape& s : shapes()) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor x = Tensor::randn({s.k}, rng);
+    Tensor want({s.m});
+    gemm::reference::matvec_acc(a, x, want);
+    Tensor got({s.m});
+    gemm::tiled_matvec_acc(a, x, got);
+    EXPECT_TRUE(bit_identical(want, got)) << "matvec " << s.m << "x" << s.k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemmEquivalence,
+                         ::testing::Values(1, 2, 8));
+
+TEST(Gemm, ThreadCountsAgreeWithEachOther) {
+  // Directly pins the cross-thread-count guarantee: the same product at 1,
+  // 2, and 8 threads yields byte-identical buffers.
+  PoolGuard guard;
+  Rng rng(47);
+  const Tensor a = Tensor::randn({130, 270}, rng);
+  const Tensor b = Tensor::randn({270, 140}, rng);
+  std::vector<Tensor> results;
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    set_shared_pool_threads(threads);
+    Tensor out({130, 140});
+    gemm::tiled_matmul_acc(a, b, out);
+    results.push_back(std::move(out));
+  }
+  EXPECT_TRUE(bit_identical(results[0], results[1]));
+  EXPECT_TRUE(bit_identical(results[0], results[2]));
+}
+
+TEST(Gemm, PublicKernelsMatchReferenceModes) {
+  // matmul/matmul_tn/matmul_nt/matvec produce the same bits in kTiled and
+  // kNaive mode (the MDL_GEMM=naive benchmark baseline is not a different
+  // answer, just a slower one).
+  PoolGuard guard;
+  set_shared_pool_threads(8);
+  Rng rng(48);
+  const Tensor a = Tensor::randn({96, 300}, rng);
+  const Tensor b = Tensor::randn({300, 72}, rng);
+  const Tensor bt = Tensor::randn({72, 300}, rng);
+  const Tensor at = Tensor::randn({300, 96}, rng);
+  const Tensor x = Tensor::randn({300}, rng);
+
+  const gemm::Mode saved = gemm::mode();
+  gemm::set_mode(gemm::Mode::kTiled);
+  const Tensor t1 = matmul(a, b);
+  const Tensor t2 = matmul_tn(at, b);
+  const Tensor t3 = matmul_nt(a, bt);
+  const Tensor t4 = matvec(a, x);
+  gemm::set_mode(gemm::Mode::kNaive);
+  const Tensor n1 = matmul(a, b);
+  const Tensor n2 = matmul_tn(at, b);
+  const Tensor n3 = matmul_nt(a, bt);
+  const Tensor n4 = matvec(a, x);
+  gemm::set_mode(saved);
+
+  EXPECT_TRUE(bit_identical(t1, n1));
+  EXPECT_TRUE(bit_identical(t2, n2));
+  EXPECT_TRUE(bit_identical(t3, n3));
+  EXPECT_TRUE(bit_identical(t4, n4));
+}
+
+TEST(Gemm, ZeroExtentShapes) {
+  PoolGuard guard;
+  set_shared_pool_threads(2);
+  const Tensor a({0, 5});
+  const Tensor b({5, 0});
+  Tensor out({0, 0});
+  gemm::tiled_matmul_acc(a, Tensor({5, 0}), out);  // no crash, no write
+  EXPECT_EQ(out.size(), 0);
+  (void)b;
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor out({2, 2});
+  EXPECT_THROW(
+      gemm::tiled_matmul_acc(Tensor({2, 3}), Tensor({4, 2}), out), Error);
+  EXPECT_THROW(
+      gemm::tiled_matmul_acc(Tensor({2, 4}), Tensor({4, 3}), out), Error);
+}
+
+}  // namespace
+}  // namespace mdl

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
+#include "nn/param_utils.hpp"
 #include "privacy/accountant.hpp"
 #include "privacy/dp_fedavg.hpp"
 #include "privacy/dp_sgd.hpp"
@@ -225,6 +228,39 @@ TEST_F(DpFixture, DpFedAvgNoNoiseApproachesNonPrivate) {
   const auto history = trainer.run(test_set);
   EXPECT_GT(history.back().test_accuracy, 0.8);
   EXPECT_TRUE(std::isinf(history.back().epsilon));
+}
+
+TEST_F(DpFixture, DpFedAvgBitIdenticalAcrossThreadCounts) {
+  // The clipped per-client updates are computed under parallel_for and
+  // summed in fixed participant order; the released model (including the
+  // server-side Gaussian noise, drawn from rng_ after the sum) must be
+  // bit-identical at every shared-pool size.
+  Rng rng(14);
+  const auto shards = data::partition_dirichlet(train_set, 6, 1.0, rng);
+  DpFedAvgConfig cfg;
+  cfg.rounds = 3;
+  cfg.client_sample_prob = 0.8;
+  cfg.local_epochs = 2;
+  cfg.noise_multiplier = 0.5;
+
+  const std::size_t saved_threads = shared_pool_threads();
+  set_shared_pool_threads(1);
+  DpFedAvgTrainer serial(federated::mlp_factory(10, 12, 3), shards, cfg);
+  serial.run(test_set);
+  const std::vector<float> w_serial =
+      nn::flatten_values(serial.global_model().parameters());
+
+  set_shared_pool_threads(8);
+  DpFedAvgTrainer parallel(federated::mlp_factory(10, 12, 3), shards, cfg);
+  parallel.run(test_set);
+  const std::vector<float> w_parallel =
+      nn::flatten_values(parallel.global_model().parameters());
+  set_shared_pool_threads(saved_threads);
+
+  ASSERT_EQ(w_serial.size(), w_parallel.size());
+  EXPECT_EQ(std::memcmp(w_serial.data(), w_parallel.data(),
+                        w_serial.size() * sizeof(float)),
+            0);
 }
 
 TEST_F(DpFixture, InvalidConfigsThrow) {

@@ -108,5 +108,69 @@ TEST(ParallelFor, PropagatesExceptionInline) {
                std::logic_error);
 }
 
+TEST(ThreadPool, CurrentThreadIsWorkerFlag) {
+  EXPECT_FALSE(ThreadPool::current_thread_is_worker());
+  ThreadPool pool(2);
+  std::atomic<bool> in_worker{false};
+  pool.submit([&] { in_worker.store(ThreadPool::current_thread_is_worker()); })
+      .get();
+  EXPECT_TRUE(in_worker.load());
+  EXPECT_FALSE(ThreadPool::current_thread_is_worker());
+}
+
+TEST(ParallelFor, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
+  // A parallel_for issued from inside a pool worker must not enqueue onto
+  // the same pool and wait: with every worker already occupied by an outer
+  // body, the inner tasks would never be scheduled — a deadlock. The guard
+  // runs the inner loop inline on the worker instead.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 4;
+  std::vector<std::atomic<int>> inner_hits(8);
+  std::atomic<int> inner_inline_count{0};
+  parallel_for(&pool, kOuter, [&](std::size_t) {
+    parallel_for(&pool, inner_hits.size(), [&](std::size_t j) {
+      if (ThreadPool::current_thread_is_worker()) inner_inline_count.fetch_add(1);
+      inner_hits[j].fetch_add(1);
+    });
+  });
+  for (const auto& h : inner_hits)
+    EXPECT_EQ(h.load(), static_cast<int>(kOuter));
+  // Every inner body ran on a pool worker (i.e. inline within the outer
+  // body), not via re-submission.
+  EXPECT_EQ(inner_inline_count.load(),
+            static_cast<int>(kOuter * inner_hits.size()));
+}
+
+TEST(ParallelFor, NestedExceptionStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(&pool, 4,
+                            [&](std::size_t) {
+                              parallel_for(&pool, 4, [](std::size_t j) {
+                                if (j == 1)
+                                  throw std::runtime_error("nested");
+                              });
+                            }),
+               std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> done{0};
+  parallel_for(&pool, 6, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 6);
+}
+
+TEST(SharedPool, SizeOverrideAndSingletonBehavior) {
+  const std::size_t saved = shared_pool_threads();
+  set_shared_pool_threads(1);
+  EXPECT_EQ(shared_pool(), nullptr);  // size 1 => inline execution, no pool
+  set_shared_pool_threads(3);
+  ThreadPool* pool = shared_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 3U);
+  EXPECT_EQ(shared_pool(), pool);  // stable until resized
+  std::atomic<int> count{0};
+  parallel_for(shared_pool(), 17, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 17);
+  set_shared_pool_threads(saved);
+}
+
 }  // namespace
 }  // namespace mdl
