@@ -1,0 +1,234 @@
+// E13 — mdl::serve batched inference throughput.
+//
+// Two phases over one split-inference server (512-wide cloud half, the
+// Fig. 3 deployment the paper puts behind a private cloud endpoint):
+//
+//   saturation — a closed-loop burst of pre-staged requests per
+//     max_batch_size in {1, 2, 4, 8, 16}. max_batch_size=1 is the
+//     sequential baseline; larger batches amortize the per-request
+//     dispatch overhead and reuse each weight tile across the batch rows
+//     inside one mdl::gemm call, which is where the single-core speedup
+//     comes from (no thread-count tricks: results are honest on a 1-core
+//     container).
+//
+//   offered_load — an open-loop sweep: requests arrive at a fixed rate
+//     with a latency deadline, and the server sheds what it cannot serve
+//     in time. Reports goodput, shed fraction and latency percentiles per
+//     offered load (the data behind a serving capacity curve).
+//
+// JSONL via --json / MDL_JSON_OUT; committed evidence lives in
+// bench/results/BENCH_serve_*.jsonl.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/threadpool.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mdl;
+
+constexpr std::int64_t kRepDim = 512;
+
+split::SplitInference make_model(Rng& rng) {
+  auto local = std::make_unique<nn::Sequential>();
+  local->emplace<nn::Linear>(kRepDim, kRepDim, rng);
+  local->emplace<nn::Tanh>();
+  auto cloud = std::make_unique<nn::Sequential>();
+  cloud->emplace<nn::Linear>(kRepDim, kRepDim, rng);
+  cloud->emplace<nn::ReLU>();
+  cloud->emplace<nn::Linear>(kRepDim, kRepDim, rng);
+  cloud->emplace<nn::ReLU>();
+  cloud->emplace<nn::Linear>(kRepDim, 8, rng);
+  return split::SplitInference(std::move(local), std::move(cloud));
+}
+
+serve::InferenceRequest make_request(Rng& rng) {
+  serve::InferenceRequest req;
+  req.kind = serve::RequestKind::kSplit;
+  req.representation = Tensor({1, kRepDim});
+  for (std::int64_t i = 0; i < kRepDim; ++i)
+    req.representation[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  req.noise_seed = rng.next_u64();
+  return req;
+}
+
+struct Percentiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+Percentiles percentiles(std::vector<double> v) {
+  Percentiles p;
+  if (v.empty()) return p;
+  std::sort(v.begin(), v.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1));
+    return v[idx];
+  };
+  p.p50 = at(0.50);
+  p.p95 = at(0.95);
+  p.p99 = at(0.99);
+  return p;
+}
+
+serve::ServeConfig base_config(std::int64_t max_batch) {
+  serve::ServeConfig cfg;
+  cfg.max_batch_size = max_batch;
+  cfg.max_queue_delay_us = 1000;
+  cfg.perturb.nullification_rate = 0.1;
+  cfg.perturb.laplace_scale = 0.1;
+  return cfg;
+}
+
+double run_saturation(const split::SplitInference& model,
+                      const std::vector<serve::InferenceRequest>& reqs,
+                      std::int64_t max_batch, double baseline_rps) {
+  serve::InferenceServer server(nullptr, &model, base_config(max_batch));
+  server.pause();
+  std::vector<std::future<serve::InferenceResult>> futures;
+  futures.reserve(reqs.size());
+  for (const auto& r : reqs) futures.push_back(server.submit(r));
+
+  const auto start = std::chrono::steady_clock::now();
+  server.resume();
+  std::vector<double> latencies;
+  double mean_occupancy = 0.0;
+  latencies.reserve(futures.size());
+  for (auto& f : futures) {
+    const serve::InferenceResult r = f.get();
+    latencies.push_back(r.latency_us);
+    mean_occupancy += static_cast<double>(r.batch_size);
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  mean_occupancy /= static_cast<double>(futures.size());
+
+  const double rps = static_cast<double>(reqs.size()) / wall_s;
+  const double speedup = baseline_rps > 0.0 ? rps / baseline_rps : 1.0;
+  const Percentiles lat = percentiles(latencies);
+  std::cout << "  batch " << std::setw(2) << max_batch << "  "
+            << std::setw(8) << static_cast<std::int64_t>(rps) << " req/s"
+            << "  occupancy " << std::fixed << std::setprecision(2)
+            << mean_occupancy << "  p50 " << std::setprecision(0)
+            << lat.p50 << "us  p99 " << lat.p99 << "us  speedup "
+            << std::setprecision(2) << speedup << "x\n"
+            << std::defaultfloat;
+  bench::log(bench::record("saturation")
+                 .add("max_batch_size", max_batch)
+                 .add("requests", static_cast<std::int64_t>(reqs.size()))
+                 .add("throughput_rps", rps)
+                 .add("mean_occupancy", mean_occupancy)
+                 .add("p50_us", lat.p50)
+                 .add("p95_us", lat.p95)
+                 .add("p99_us", lat.p99)
+                 .add("speedup_vs_sequential", speedup)
+                 .add("threads", static_cast<std::int64_t>(
+                                     shared_pool_threads()))
+                 .add("wall_s", wall_s));
+  return rps;
+}
+
+void run_offered_load(const split::SplitInference& model,
+                      const std::vector<serve::InferenceRequest>& reqs,
+                      double offered_rps) {
+  serve::ServeConfig cfg = base_config(8);
+  cfg.default_deadline_us = 20'000;
+  serve::InferenceServer server(nullptr, &model, cfg);
+
+  const auto gap =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / offered_rps));
+  std::vector<std::future<serve::InferenceResult>> futures;
+  futures.reserve(reqs.size());
+  const auto start = std::chrono::steady_clock::now();
+  auto next = start;
+  for (const auto& r : reqs) {
+    std::this_thread::sleep_until(next);
+    next += gap;
+    futures.push_back(server.submit(r));
+  }
+
+  std::vector<double> ok_latencies;
+  std::int64_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const serve::InferenceResult r = f.get();
+    if (r.status == serve::RequestStatus::kOk) {
+      ++ok;
+      ok_latencies.push_back(r.latency_us);
+    } else {
+      ++shed;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double goodput = static_cast<double>(ok) / wall_s;
+  const double shed_frac =
+      static_cast<double>(shed) / static_cast<double>(reqs.size());
+  const Percentiles lat = percentiles(ok_latencies);
+  std::cout << "  offered " << std::setw(6)
+            << static_cast<std::int64_t>(offered_rps) << " req/s  goodput "
+            << std::setw(6) << static_cast<std::int64_t>(goodput)
+            << " req/s  shed " << std::fixed << std::setprecision(1)
+            << 100.0 * shed_frac << "%  p50 " << std::setprecision(0)
+            << lat.p50 << "us  p99 " << lat.p99 << "us\n"
+            << std::defaultfloat;
+  bench::log(bench::record("offered_load")
+                 .add("offered_rps", offered_rps)
+                 .add("requests", static_cast<std::int64_t>(reqs.size()))
+                 .add("goodput_rps", goodput)
+                 .add("shed_fraction", shed_frac)
+                 .add("deadline_us", cfg.default_deadline_us)
+                 .add("p50_us", lat.p50)
+                 .add("p95_us", lat.p95)
+                 .add("p99_us", lat.p99)
+                 .add("wall_s", wall_s));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
+  bench::banner(
+      "E13", "mdl::serve throughput",
+      "Dynamic batching vs sequential execution for split-inference\n"
+      "requests (512-wide cloud half), then an offered-load sweep with a\n"
+      "20ms deadline showing goodput and shedding under pressure.");
+
+  Rng rng(2025);
+  const split::SplitInference model = make_model(rng);
+  const std::int64_t burst = bench::scaled(512, 96);
+  std::vector<serve::InferenceRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(burst));
+  for (std::int64_t i = 0; i < burst; ++i) reqs.push_back(make_request(rng));
+
+  std::cout << "saturation (closed-loop burst of " << burst
+            << " requests, MDL_THREADS=" << shared_pool_threads() << "):\n";
+  double baseline = 0.0;
+  for (const std::int64_t batch : {1, 2, 4, 8, 16}) {
+    const double rps = run_saturation(model, reqs, batch, baseline);
+    if (batch == 1) baseline = rps;
+  }
+
+  const std::int64_t sweep_n = bench::scaled(400, 80);
+  std::vector<serve::InferenceRequest> sweep_reqs(
+      reqs.begin(), reqs.begin() + std::min<std::int64_t>(sweep_n, burst));
+  while (static_cast<std::int64_t>(sweep_reqs.size()) < sweep_n)
+    sweep_reqs.push_back(make_request(rng));
+  std::cout << "\noffered-load sweep (" << sweep_n
+            << " requests per load, 20ms deadline):\n";
+  for (const double load : {200.0, 500.0, 1000.0, 2000.0, 4000.0})
+    run_offered_load(model, sweep_reqs, load);
+
+  bench::log_metrics_snapshot();
+  std::cout << "\ndone.\n";
+  return 0;
+}

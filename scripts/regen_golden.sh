@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden JSONL traces under tests/golden/ from the current
+# build. Run this ONLY after an intentional behaviour change to fig2/fig4,
+# then review the diff — every changed non-timing field should be explained
+# by your change (see DESIGN.md §Testing strategy).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target fig2_fedavg_communication fig4_deepmood_fusion
+
+mkdir -p tests/golden
+MDL_QUICK=1 "$BUILD_DIR/bench/fig2_fedavg_communication" \
+  --json tests/golden/fig2_quick.jsonl >/dev/null
+MDL_QUICK=1 "$BUILD_DIR/bench/fig4_deepmood_fusion" \
+  --json tests/golden/fig4_quick.jsonl >/dev/null
+
+echo "regenerated:"
+wc -l tests/golden/fig2_quick.jsonl tests/golden/fig4_quick.jsonl
+echo "review 'git diff tests/golden' before committing"

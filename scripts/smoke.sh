@@ -35,6 +35,7 @@ BENCHES=(
   table1_user_identification
   tab_binary_identification
   tab_mobile_inference
+  serve_throughput
 )
 for bench in "${BENCHES[@]}"; do
   echo "=== $bench (MDL_QUICK=1) ==="
@@ -109,7 +110,7 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   for threads in 2 8; do
     TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
       "$TSAN_DIR/tests/mdl_tests" \
-      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*'
+      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*'
   done
 fi
 

@@ -55,6 +55,17 @@ Tensor MultiViewModel::forward(const std::vector<Tensor>& view_seqs) {
   return fusion_->forward(hidden);
 }
 
+Tensor MultiViewModel::infer(const std::vector<Tensor>& view_seqs) const {
+  MDL_CHECK(view_seqs.size() == encoders_.size(),
+            "expected " << encoders_.size() << " views, got "
+                        << view_seqs.size());
+  std::vector<Tensor> hidden;
+  hidden.reserve(encoders_.size());
+  for (std::size_t p = 0; p < encoders_.size(); ++p)
+    hidden.push_back(encoders_[p]->infer(view_seqs[p]));
+  return fusion_->infer(hidden);
+}
+
 void MultiViewModel::backward(const Tensor& grad_logits) {
   const std::vector<Tensor> grads = fusion_->backward(grad_logits);
   MDL_CHECK(grads.size() == encoders_.size(), "fusion grad count mismatch");

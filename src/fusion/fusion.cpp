@@ -58,6 +58,12 @@ Tensor FCFusion::forward(const std::vector<Tensor>& views) {
   return fc2_.forward(relu_.forward(fc1_.forward(h)));
 }
 
+Tensor FCFusion::infer(const std::vector<Tensor>& views) const {
+  check_views(views);
+  const Tensor h = Tensor::concat_cols(views);
+  return fc2_.infer(relu_.infer(fc1_.infer(h)));
+}
+
 std::vector<Tensor> FCFusion::backward(const Tensor& grad_logits) {
   Tensor gh = fc1_.backward(relu_.backward(fc2_.backward(grad_logits)));
   // Split the concatenated gradient back into per-view slices.
@@ -131,6 +137,36 @@ Tensor FactorizationMachineLayer::forward(const std::vector<Tensor>& views) {
         const float* uaj = ua + j * d;
         for (std::int64_t i = 0; i < d; ++i) acc += uaj[i] * h[i];
         q[j] = static_cast<float>(acc);
+        score += acc * acc;
+      }
+      y[b * classes_ + a] = static_cast<float>(score);
+    }
+  }
+  return y;
+}
+
+Tensor FactorizationMachineLayer::infer(
+    const std::vector<Tensor>& views) const {
+  check_views(views);
+  // Mirror forward() term-for-term (same double accumulators) with the
+  // per-batch caches replaced by locals.
+  const Tensor hcat = Tensor::concat_cols(views);
+  const std::int64_t batch = hcat.shape(0);
+  const std::int64_t d = total_dim_;
+  const std::int64_t k = factors_;
+
+  Tensor y({batch, classes_});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* h = hcat.data() + b * d;
+    for (std::int64_t a = 0; a < classes_; ++a) {
+      const float* ua = u_.value.data() + a * k * d;
+      const float* wa = w_.value.data() + a * (d + 1);
+      double score = wa[d];  // global bias
+      for (std::int64_t i = 0; i < d; ++i) score += wa[i] * h[i];
+      for (std::int64_t j = 0; j < k; ++j) {
+        double acc = 0.0;
+        const float* uaj = ua + j * d;
+        for (std::int64_t i = 0; i < d; ++i) acc += uaj[i] * h[i];
         score += acc * acc;
       }
       y[b * classes_ + a] = static_cast<float>(score);
@@ -262,6 +298,52 @@ Tensor MultiviewMachineLayer::forward(const std::vector<Tensor>& views) {
         for (std::int64_t p = 0; p < m; ++p)
           prod *= cached_q_[static_cast<std::size_t>(p)]
                            [(b * classes_ + a) * k + j];
+        score += prod;
+      }
+      y[b * classes_ + a] = static_cast<float>(score);
+    }
+  }
+  return y;
+}
+
+Tensor MultiviewMachineLayer::infer(const std::vector<Tensor>& views) const {
+  check_views(views);
+  const std::int64_t batch = views.front().shape(0);
+  const std::int64_t k = factors_;
+  const std::int64_t m = num_views();
+
+  // Mirror forward(): q is materialized per view in float32 first, then the
+  // cross-view products multiply those float values in double.
+  std::vector<Tensor> q(static_cast<std::size_t>(m));
+  for (std::int64_t p = 0; p < m; ++p) {
+    const std::int64_t dp = view_dims_[static_cast<std::size_t>(p)];
+    Tensor qp({batch, classes_, k});
+    const Tensor& uv = u_[static_cast<std::size_t>(p)].value;
+    const Tensor& h = views[static_cast<std::size_t>(p)];
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* hb = h.data() + b * dp;
+      for (std::int64_t a = 0; a < classes_; ++a) {
+        const float* ua = uv.data() + a * k * (dp + 1);
+        float* qba = qp.data() + (b * classes_ + a) * k;
+        for (std::int64_t j = 0; j < k; ++j) {
+          const float* uaj = ua + j * (dp + 1);
+          double acc = uaj[dp];  // appended-1 bias input
+          for (std::int64_t i = 0; i < dp; ++i) acc += uaj[i] * hb[i];
+          qba[j] = static_cast<float>(acc);
+        }
+      }
+    }
+    q[static_cast<std::size_t>(p)] = std::move(qp);
+  }
+
+  Tensor y({batch, classes_});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t a = 0; a < classes_; ++a) {
+      double score = 0.0;
+      for (std::int64_t j = 0; j < k; ++j) {
+        double prod = 1.0;
+        for (std::int64_t p = 0; p < m; ++p)
+          prod *= q[static_cast<std::size_t>(p)][(b * classes_ + a) * k + j];
         score += prod;
       }
       y[b * classes_ + a] = static_cast<float>(score);

@@ -39,6 +39,11 @@ class FusionLayer {
   /// returns d(loss)/d(view_p) for every view.
   virtual std::vector<Tensor> backward(const Tensor& grad_logits) = 0;
 
+  /// Inference-only forward: bit-identical to forward() (same float32
+  /// accumulation order) but const and cache-free, so one fusion head can
+  /// score concurrent batches — the mdl::serve execution path.
+  virtual Tensor infer(const std::vector<Tensor>& views) const = 0;
+
   virtual std::vector<Parameter*> parameters() = 0;
   virtual std::string name() const = 0;
   virtual std::int64_t flops_per_example() const = 0;
@@ -69,6 +74,7 @@ class FCFusion : public FusionLayer {
 
   Tensor forward(const std::vector<Tensor>& views) override;
   std::vector<Tensor> backward(const Tensor& grad_logits) override;
+  Tensor infer(const std::vector<Tensor>& views) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;
@@ -90,6 +96,7 @@ class FactorizationMachineLayer : public FusionLayer {
 
   Tensor forward(const std::vector<Tensor>& views) override;
   std::vector<Tensor> backward(const Tensor& grad_logits) override;
+  Tensor infer(const std::vector<Tensor>& views) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;
@@ -114,6 +121,7 @@ class MultiviewMachineLayer : public FusionLayer {
 
   Tensor forward(const std::vector<Tensor>& views) override;
   std::vector<Tensor> backward(const Tensor& grad_logits) override;
+  Tensor infer(const std::vector<Tensor>& views) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;

@@ -1,5 +1,7 @@
 #include "mobile/cost_model.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -32,6 +34,33 @@ double NetworkModel::upload_time_s(std::uint64_t bytes) const {
 double NetworkModel::download_time_s(std::uint64_t bytes) const {
   MDL_CHECK(downlink_mbps > 0.0, "downlink bandwidth must be positive");
   return static_cast<double>(bytes) * 8.0 / (downlink_mbps * 1e6);
+}
+
+void BatchingModel::validate() const {
+  MDL_CHECK(max_batch_size > 0, "max_batch_size must be positive");
+  MDL_CHECK(max_queue_delay_s >= 0.0, "max_queue_delay_s must be >= 0");
+  MDL_CHECK(offered_load_rps >= 0.0, "offered_load_rps must be >= 0");
+  MDL_CHECK(per_batch_overhead_s >= 0.0, "per_batch_overhead_s must be >= 0");
+}
+
+double BatchingModel::expected_occupancy() const {
+  validate();
+  const double filled = 1.0 + offered_load_rps * max_queue_delay_s;
+  return std::min(static_cast<double>(max_batch_size), filled);
+}
+
+double BatchingModel::expected_queue_delay_s() const {
+  validate();
+  if (max_batch_size == 1) return 0.0;  // every batch releases immediately
+  // A lone request (no other arrivals) waits out the whole delay timer.
+  if (offered_load_rps <= 0.0) return max_queue_delay_s;
+  // Fill window: time for max_batch_size - 1 further arrivals, truncated
+  // by the delay knob. A request arrives uniformly inside the window, so
+  // its mean wait is half of it.
+  const double window =
+      std::min(max_queue_delay_s,
+               static_cast<double>(max_batch_size - 1) / offered_load_rps);
+  return window / 2.0;
 }
 
 InferencePlanner::InferencePlanner(DeviceProfile device, DeviceProfile server,
@@ -95,6 +124,31 @@ CostEstimate InferencePlanner::split(std::int64_t local_flops,
                           device_.idle_watts;
   c.bytes_up = rep_bytes;
   c.bytes_down = output_bytes;
+  return c;
+}
+
+CostEstimate InferencePlanner::on_cloud(std::uint64_t input_bytes,
+                                        std::int64_t flops,
+                                        std::uint64_t output_bytes,
+                                        const BatchingModel& batching) const {
+  CostEstimate c = on_cloud(input_bytes, flops, output_bytes);
+  const double extra =
+      batching.expected_queue_delay_s() + batching.amortized_overhead_s();
+  c.latency_s += extra;
+  c.device_energy_j += extra * device_.idle_watts;  // phone idles while queued
+  return c;
+}
+
+CostEstimate InferencePlanner::split(std::int64_t local_flops,
+                                     std::uint64_t rep_bytes,
+                                     std::int64_t cloud_flops,
+                                     std::uint64_t output_bytes,
+                                     const BatchingModel& batching) const {
+  CostEstimate c = split(local_flops, rep_bytes, cloud_flops, output_bytes);
+  const double extra =
+      batching.expected_queue_delay_s() + batching.amortized_overhead_s();
+  c.latency_s += extra;
+  c.device_energy_j += extra * device_.idle_watts;
   return c;
 }
 

@@ -12,6 +12,12 @@ Tensor ReLU::forward(const Tensor& x) {
   return y;
 }
 
+Tensor ReLU::infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) y[i] = std::max(0.0F, y[i]);
+  return y;
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   MDL_CHECK(grad_out.same_shape(cached_input_), "ReLU backward shape");
   Tensor g = grad_out;
@@ -36,6 +42,8 @@ Tensor Sigmoid::forward(const Tensor& x) {
   return y;
 }
 
+Tensor Sigmoid::infer(const Tensor& x) const { return sigmoid(x); }
+
 Tensor Sigmoid::backward(const Tensor& grad_out) {
   MDL_CHECK(grad_out.same_shape(cached_output_), "Sigmoid backward shape");
   Tensor g = grad_out;
@@ -52,6 +60,8 @@ Tensor Tanh::forward(const Tensor& x) {
   cached_output_ = y;
   return y;
 }
+
+Tensor Tanh::infer(const Tensor& x) const { return tanh_t(x); }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
   MDL_CHECK(grad_out.same_shape(cached_output_), "Tanh backward shape");

@@ -10,6 +10,7 @@ class ReLU : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -21,6 +22,7 @@ class Sigmoid : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Sigmoid"; }
   std::int64_t flops_per_example() const override { return 0; }
 
@@ -33,6 +35,7 @@ class Tanh : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Tanh"; }
 
  private:

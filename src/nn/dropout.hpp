@@ -16,6 +16,8 @@ class Dropout : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  /// Identity: dropout is a no-op at inference time.
+  Tensor infer(const Tensor& x) const override { return x; }
   std::string name() const override;
 
   double rate() const { return rate_; }

@@ -75,6 +75,32 @@ Tensor GRUCell::step(const Tensor& x, const Tensor& h_prev) {
   return h;
 }
 
+Tensor GRUCell::step_infer(const Tensor& x, const Tensor& h_prev) const {
+  MDL_CHECK(x.ndim() == 2 && x.shape(1) == input_size_,
+            "GRU step input " << x.shape_str());
+  MDL_CHECK(h_prev.ndim() == 2 && h_prev.shape(1) == hidden_size_ &&
+                h_prev.shape(0) == x.shape(0),
+            "GRU step hidden " << h_prev.shape_str());
+
+  // Mirror step() operation-for-operation so the two stay bit-identical.
+  const Tensor r =
+      sigmoid(gate_preact(x, w_r_.value, h_prev, u_r_.value, b_r_.value));
+  const Tensor z =
+      sigmoid(gate_preact(x, w_z_.value, h_prev, u_z_.value, b_z_.value));
+  Tensor rh = r;
+  rh.mul_(h_prev);
+  const Tensor h_cand =
+      tanh_t(gate_preact(x, w_h_.value, rh, u_h_.value, b_h_.value));
+
+  Tensor h = z;
+  h.mul_(h_prev);
+  Tensor rest = h_cand;
+  for (std::int64_t i = 0; i < rest.size(); ++i)
+    rest[i] *= 1.0F - z[i];
+  h.add_(rest);
+  return h;
+}
+
 std::pair<Tensor, Tensor> GRUCell::step_backward(const Tensor& grad_h) {
   MDL_CHECK(!cache_.empty(), "step_backward without a cached step");
   const StepCache c = std::move(cache_.back());
@@ -165,6 +191,18 @@ Tensor GRU::forward(const Tensor& sequence) {
   return h;
 }
 
+Tensor GRU::infer(const Tensor& sequence) const {
+  MDL_CHECK(sequence.ndim() == 3 && sequence.shape(2) == cell_.input_size(),
+            "GRU expects [T, B, " << cell_.input_size() << "], got "
+                                  << sequence.shape_str());
+  const std::int64_t t_len = sequence.shape(0);
+  MDL_CHECK(t_len > 0, "GRU needs at least one time step");
+  Tensor h({sequence.shape(1), cell_.hidden_size()});
+  for (std::int64_t t = 0; t < t_len; ++t)
+    h = cell_.step_infer(sequence.time_step(t), h);
+  return h;
+}
+
 Tensor GRU::backward(const Tensor& grad_last_hidden) {
   MDL_CHECK(grad_last_hidden.ndim() == 2 &&
                 grad_last_hidden.shape(0) == last_batch_ &&
@@ -207,6 +245,13 @@ Tensor BiGRU::reverse_time(const Tensor& seq) {
 Tensor BiGRU::forward(const Tensor& sequence) {
   const Tensor h_fwd = fwd_.forward(sequence);
   const Tensor h_bwd = bwd_.forward(reverse_time(sequence));
+  const std::vector<Tensor> parts{h_fwd, h_bwd};
+  return Tensor::concat_cols(parts);
+}
+
+Tensor BiGRU::infer(const Tensor& sequence) const {
+  const Tensor h_fwd = fwd_.infer(sequence);
+  const Tensor h_bwd = bwd_.infer(reverse_time(sequence));
   const std::vector<Tensor> parts{h_fwd, h_bwd};
   return Tensor::concat_cols(parts);
 }

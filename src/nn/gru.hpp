@@ -29,6 +29,10 @@ class GRUCell {
   /// clear_cache()).
   Tensor step(const Tensor& x, const Tensor& h_prev);
 
+  /// Inference-only step: the exact float32 chain of step() with no cache
+  /// mutation, safe for concurrent use (mdl::serve batch execution).
+  Tensor step_infer(const Tensor& x, const Tensor& h_prev) const;
+
   /// Backward through the most recent un-popped step. `grad_h` is
   /// d(loss)/d(h_t); returns {d(loss)/d(x_t), d(loss)/d(h_{t-1})} and
   /// accumulates parameter gradients.
@@ -66,6 +70,9 @@ class GRU : public Module {
 
   Tensor forward(const Tensor& sequence) override;
   Tensor backward(const Tensor& grad_last_hidden) override;
+  /// [T, B, I] -> final hidden [B, H], bit-identical to forward() but const
+  /// and cache-free (does not update hidden_sequence()).
+  Tensor infer(const Tensor& sequence) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;
@@ -98,6 +105,7 @@ class BiGRU : public Module {
   Tensor forward(const Tensor& sequence) override;
   /// Takes d(loss)/d([h_fwd; h_bwd]) of shape [B, 2H].
   Tensor backward(const Tensor& grad_hidden) override;
+  Tensor infer(const Tensor& sequence) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;

@@ -26,6 +26,15 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
+Tensor Linear::infer(const Tensor& x) const {
+  MDL_CHECK(x.ndim() == 2 && x.shape(1) == in_,
+            "Linear(" << in_ << "->" << out_ << ") got input "
+                      << x.shape_str());
+  Tensor y = matmul_nt(x, weight_.value);  // same chain as forward()
+  if (has_bias_) add_row_broadcast(y, bias_.value);
+  return y;
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
   MDL_CHECK(grad_out.ndim() == 2 && grad_out.shape(1) == out_ &&
                 grad_out.shape(0) == cached_input_.shape(0),

@@ -76,6 +76,36 @@ std::pair<Tensor, Tensor> LSTMCell::step(const Tensor& x,
   return {std::move(h), std::move(c)};
 }
 
+std::pair<Tensor, Tensor> LSTMCell::step_infer(const Tensor& x,
+                                               const Tensor& h_prev,
+                                               const Tensor& c_prev) const {
+  MDL_CHECK(x.ndim() == 2 && x.shape(1) == input_size_,
+            "LSTM step input " << x.shape_str());
+  MDL_CHECK(h_prev.same_shape(c_prev) && h_prev.shape(0) == x.shape(0) &&
+                h_prev.shape(1) == hidden_size_,
+            "LSTM step state shapes");
+
+  // Mirror step() operation-for-operation so the two stay bit-identical.
+  const Tensor i =
+      sigmoid(gate_preact(x, w_i_.value, h_prev, u_i_.value, b_i_.value));
+  const Tensor f =
+      sigmoid(gate_preact(x, w_f_.value, h_prev, u_f_.value, b_f_.value));
+  const Tensor o =
+      sigmoid(gate_preact(x, w_o_.value, h_prev, u_o_.value, b_o_.value));
+  const Tensor g =
+      tanh_t(gate_preact(x, w_g_.value, h_prev, u_g_.value, b_g_.value));
+
+  Tensor c = f;
+  c.mul_(c_prev);
+  Tensor ig = i;
+  ig.mul_(g);
+  c.add_(ig);
+
+  Tensor h = o;
+  h.mul_(tanh_t(c));
+  return {std::move(h), std::move(c)};
+}
+
 std::tuple<Tensor, Tensor, Tensor> LSTMCell::step_backward(
     const Tensor& grad_h, const Tensor& grad_c) {
   MDL_CHECK(!cache_.empty(), "step_backward without a cached step");
@@ -166,6 +196,19 @@ Tensor LSTM::forward(const Tensor& sequence) {
   Tensor c({batch, cell_.hidden_size()});
   for (std::int64_t t = 0; t < t_len; ++t)
     std::tie(h, c) = cell_.step(sequence.time_step(t), h, c);
+  return h;
+}
+
+Tensor LSTM::infer(const Tensor& sequence) const {
+  MDL_CHECK(sequence.ndim() == 3 && sequence.shape(2) == cell_.input_size(),
+            "LSTM expects [T, B, " << cell_.input_size() << "], got "
+                                   << sequence.shape_str());
+  const std::int64_t t_len = sequence.shape(0);
+  MDL_CHECK(t_len > 0, "LSTM needs at least one time step");
+  Tensor h({sequence.shape(1), cell_.hidden_size()});
+  Tensor c({sequence.shape(1), cell_.hidden_size()});
+  for (std::int64_t t = 0; t < t_len; ++t)
+    std::tie(h, c) = cell_.step_infer(sequence.time_step(t), h, c);
   return h;
 }
 

@@ -27,6 +27,10 @@ class LSTMCell {
   std::pair<Tensor, Tensor> step(const Tensor& x, const Tensor& h_prev,
                                  const Tensor& c_prev);
 
+  /// Inference-only step: same float32 chain as step(), no cache mutation.
+  std::pair<Tensor, Tensor> step_infer(const Tensor& x, const Tensor& h_prev,
+                                       const Tensor& c_prev) const;
+
   /// Backward through the most recent un-popped step. Inputs are
   /// d(loss)/d(h_t) and d(loss)/d(c_t); returns {dx, dh_prev, dc_prev}.
   std::tuple<Tensor, Tensor, Tensor> step_backward(const Tensor& grad_h,
@@ -61,6 +65,7 @@ class LSTM : public Module {
 
   Tensor forward(const Tensor& sequence) override;
   Tensor backward(const Tensor& grad_last_hidden) override;
+  Tensor infer(const Tensor& sequence) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;

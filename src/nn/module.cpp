@@ -4,6 +4,11 @@
 
 namespace mdl::nn {
 
+Tensor Module::infer(const Tensor& x) const {
+  (void)x;
+  MDL_FAIL("layer " << name() << " has no const inference path");
+}
+
 void Module::save_state(BinaryWriter& w) {
   const auto params = parameters();
   w.write_u32(static_cast<std::uint32_t>(params.size()));
@@ -31,6 +36,12 @@ void Module::load_state(BinaryReader& r) {
 Tensor Sequential::forward(const Tensor& x) {
   Tensor h = x;
   for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::infer(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->infer(h);
   return h;
 }
 

@@ -32,6 +32,14 @@ class Module {
   /// returns d(loss)/d(input). Must be called at most once per forward.
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Inference-only forward: identical math to forward() in inference mode
+  /// (the same canonical float32 accumulation chain, so outputs are
+  /// bit-identical to forward()), but const and cache-free. Safe to call
+  /// concurrently from several threads on one module instance, which is what
+  /// the mdl::serve batch executor relies on. Layers that cannot provide a
+  /// const path (training-only layers) keep the throwing default.
+  virtual Tensor infer(const Tensor& x) const;
+
   /// Pointers to this module's trainable parameters (possibly empty).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
@@ -84,6 +92,7 @@ class Sequential : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;

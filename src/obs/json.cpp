@@ -270,4 +270,9 @@ const Json& Json::at(const std::string& key) const {
   return it->second;
 }
 
+const std::map<std::string, Json>& Json::items() const {
+  MDL_CHECK(kind_ == Kind::kObject, "JSON value is not an object");
+  return object_;
+}
+
 }  // namespace mdl::obs

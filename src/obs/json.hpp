@@ -42,6 +42,8 @@ class Json {
   /// Object access.
   bool has(const std::string& key) const;
   const Json& at(const std::string& key) const;
+  /// All key/value pairs of an object (sorted by key; throws otherwise).
+  const std::map<std::string, Json>& items() const;
 
  private:
   Kind kind_ = Kind::kNull;

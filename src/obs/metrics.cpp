@@ -83,6 +83,16 @@ std::vector<double> Histogram::exponential_bounds(double start, double factor,
   return bounds;
 }
 
+std::vector<double> Histogram::linear_bounds(double start, double step,
+                                             std::size_t n) {
+  MDL_CHECK(step > 0.0 && n > 0, "need step > 0, n > 0");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bounds.push_back(start + step * static_cast<double>(i));
+  return bounds;
+}
+
 const std::vector<double>& Histogram::default_latency_bounds_us() {
   static const std::vector<double> kBounds =
       exponential_bounds(1.0, 2.0, 25);  // 1us .. ~16.8s

@@ -92,6 +92,10 @@ class Histogram {
   /// n bounds: start, start*factor, start*factor^2, ...
   static std::vector<double> exponential_bounds(double start, double factor,
                                                 std::size_t n);
+  /// n bounds: start, start+step, start+2*step, ... (small bounded ranges
+  /// such as batch occupancy, where exponential buckets over-resolve).
+  static std::vector<double> linear_bounds(double start, double step,
+                                           std::size_t n);
   /// Default latency bounds in microseconds: 1us .. ~17s, factor 2.
   static const std::vector<double>& default_latency_bounds_us();
 

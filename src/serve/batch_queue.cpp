@@ -1,0 +1,130 @@
+#include "serve/batch_queue.hpp"
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdl::serve {
+
+namespace {
+
+double us_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                 .count()) /
+         1e3;
+}
+
+}  // namespace
+
+BatchQueue::BatchQueue(BatchQueueConfig config) : config_(config) {
+  MDL_CHECK(config_.max_batch_size > 0, "max_batch_size must be positive");
+  MDL_CHECK(config_.max_queue_delay_us >= 0,
+            "max_queue_delay_us must be >= 0");
+}
+
+bool BatchQueue::push(PendingRequest&& p) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(p));
+    MDL_OBS_GAUGE_SET("serve.queue_depth",
+                      static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void BatchQueue::shed_expired_locked(
+    std::chrono::steady_clock::time_point now) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline > now) {
+      ++it;
+      continue;
+    }
+    InferenceResult r;
+    r.status = RequestStatus::kShedDeadline;
+    r.queue_wait_us = us_between(it->enqueue_time, now);
+    r.latency_us = r.queue_wait_us;
+    it->promise.set_value(std::move(r));
+    MDL_OBS_COUNTER_ADD("serve.shed_deadline", 1);
+    it = queue_.erase(it);
+  }
+}
+
+std::vector<PendingRequest> BatchQueue::pop_batch() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    shed_expired_locked(now);
+
+    if (paused_ && !shutdown_) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (queue_.empty()) {
+      if (shutdown_) return {};
+      cv_.wait(lock);
+      continue;
+    }
+
+    // Longest same-kind FIFO prefix, capped at max_batch_size.
+    const auto cap = static_cast<std::size_t>(config_.max_batch_size);
+    std::size_t prefix = 1;
+    while (prefix < queue_.size() && prefix < cap &&
+           queue_[prefix].request.kind == queue_.front().request.kind)
+      ++prefix;
+
+    const auto release =
+        queue_.front().enqueue_time +
+        std::chrono::microseconds(config_.max_queue_delay_us);
+    if (prefix >= cap || shutdown_ || now >= release) {
+      std::vector<PendingRequest> batch;
+      batch.reserve(prefix);
+      for (std::size_t i = 0; i < prefix; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      MDL_OBS_GAUGE_SET("serve.queue_depth",
+                        static_cast<double>(queue_.size()));
+      return batch;
+    }
+
+    // Wake at batch release, or earlier if a queued deadline lapses first.
+    auto wake = release;
+    for (const PendingRequest& p : queue_)
+      if (p.deadline < wake) wake = p.deadline;
+    cv_.wait_until(lock, wake);
+  }
+}
+
+void BatchQueue::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void BatchQueue::pause() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = true;
+  }
+  cv_.notify_all();
+}
+
+void BatchQueue::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+std::size_t BatchQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mdl::serve

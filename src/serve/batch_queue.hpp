@@ -1,0 +1,87 @@
+// Dynamic-batching queue for the inference server.
+//
+// Producers push requests from any thread; the single executor thread pops
+// *batches*. A batch is the longest same-kind FIFO prefix of the queue,
+// released as soon as either
+//   - it reaches max_batch_size, or
+//   - the oldest queued request has waited max_queue_delay_us
+// (the classic size-or-deadline dynamic batching policy). Keeping batches
+// as strict FIFO prefixes preserves arrival order and makes batch
+// composition a pure function of the arrival sequence — which is what lets
+// the tests pin batched-vs-sequential bit-identity deterministically.
+//
+// Deadline shedding happens at pop time: any queued request whose absolute
+// deadline has lapsed is completed as kShedDeadline without executing —
+// the serving analogue of mdl::sim's round-deadline misses.
+//
+// pause()/resume() hold batch formation while producers enqueue, so tests
+// can dictate exact batch compositions (e.g. "exactly 3 requests in one
+// batch") without racing the executor.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace mdl::serve {
+
+/// A queued request: payload + completion promise + timing bookkeeping.
+struct PendingRequest {
+  InferenceRequest request;
+  std::promise<InferenceResult> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute shed deadline; time_point::max() when the request has none.
+  std::chrono::steady_clock::time_point deadline;
+};
+
+struct BatchQueueConfig {
+  std::int64_t max_batch_size = 8;
+  std::int64_t max_queue_delay_us = 2000;
+};
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(BatchQueueConfig config);
+
+  /// Enqueues from any thread. Returns false (leaving `p` untouched) once
+  /// shutdown() has been called — the caller completes the promise.
+  bool push(PendingRequest&& p);
+
+  /// Blocks until a batch is ready (see policy above) and returns it in
+  /// FIFO order. Expired requests are shed (their promises completed as
+  /// kShedDeadline) before batch formation. After shutdown() the remaining
+  /// queue keeps draining in batches; an empty return means fully drained
+  /// and shut down — the executor should exit.
+  std::vector<PendingRequest> pop_batch();
+
+  /// Stops accepting pushes; pop_batch() drains what is queued.
+  void shutdown();
+
+  /// Holds batch formation (pop_batch blocks) until resume(); pushes are
+  /// unaffected. Lets tests stage exact batch compositions.
+  void pause();
+  void resume();
+
+  std::size_t depth() const;
+  const BatchQueueConfig& config() const { return config_; }
+
+ private:
+  /// Completes and removes every queued request past its deadline.
+  /// Caller holds mu_.
+  void shed_expired_locked(std::chrono::steady_clock::time_point now);
+
+  BatchQueueConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace mdl::serve

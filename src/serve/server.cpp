@@ -1,0 +1,209 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/random.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mdl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                 .count()) /
+         1e3;
+}
+
+void observe_occupancy(std::int64_t batch_size) {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "serve.batch_occupancy", obs::Histogram::linear_bounds(1.0, 1.0, 32));
+  hist.observe(static_cast<double>(batch_size));
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kShedDeadline: return "shed_deadline";
+    case RequestStatus::kRejectedShutdown: return "rejected_shutdown";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(const apps::MultiViewModel* multiview,
+                                 const split::SplitInference* split,
+                                 ServeConfig config)
+    : multiview_(multiview),
+      split_(split),
+      config_(config),
+      queue_({config.max_batch_size, config.max_queue_delay_us}) {
+  MDL_CHECK(multiview_ != nullptr || split_ != nullptr,
+            "server needs at least one model");
+  MDL_CHECK(config_.default_deadline_us >= 0,
+            "default_deadline_us must be >= 0");
+  executor_ = std::thread([this] { run(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::stop() {
+  queue_.shutdown();
+  if (executor_.joinable()) executor_.join();
+}
+
+void InferenceServer::validate(const InferenceRequest& request) const {
+  if (request.kind == RequestKind::kMultiView) {
+    MDL_CHECK(multiview_ != nullptr, "no multi-view model configured");
+    const auto& cfg = multiview_->config();
+    MDL_CHECK(request.views.size() == cfg.view_dims.size(),
+              "expected " << cfg.view_dims.size() << " views, got "
+                          << request.views.size());
+    for (std::size_t p = 0; p < request.views.size(); ++p) {
+      const Tensor& v = request.views[p];
+      MDL_CHECK(v.ndim() == 2 && v.shape(0) == cfg.seq_lens[p] &&
+                    v.shape(1) == cfg.view_dims[p],
+                "view " << p << " must be [" << cfg.seq_lens[p] << ", "
+                        << cfg.view_dims[p] << "], got " << v.shape_str());
+    }
+  } else {
+    MDL_CHECK(split_ != nullptr, "no split-inference model configured");
+    MDL_CHECK(request.representation.ndim() == 2 &&
+                  request.representation.shape(0) == 1,
+              "representation must be [1, rep_dim], got "
+                  << request.representation.shape_str());
+  }
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    InferenceRequest request) {
+  validate(request);
+  MDL_OBS_COUNTER_ADD("serve.requests", 1);
+
+  PendingRequest pending;
+  pending.enqueue_time = Clock::now();
+  const std::int64_t budget_us = request.deadline_us > 0
+                                     ? request.deadline_us
+                                     : config_.default_deadline_us;
+  pending.deadline = budget_us > 0
+                         ? pending.enqueue_time +
+                               std::chrono::microseconds(budget_us)
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  std::future<InferenceResult> future = pending.promise.get_future();
+
+  if (!queue_.push(std::move(pending))) {
+    // Shut down between the caller's submit and the enqueue: reject.
+    MDL_OBS_COUNTER_ADD("serve.rejected_shutdown", 1);
+    std::promise<InferenceResult> rejected;
+    future = rejected.get_future();
+    InferenceResult r;
+    r.status = RequestStatus::kRejectedShutdown;
+    rejected.set_value(std::move(r));
+  }
+  return future;
+}
+
+Tensor InferenceServer::perturbed_representation(
+    const InferenceRequest& request) const {
+  Rng rng(request.noise_seed);
+  return split_->perturb(request.representation, config_.perturb, rng);
+}
+
+Tensor InferenceServer::infer_stacked(
+    const std::vector<PendingRequest>& batch) const {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  if (batch.front().request.kind == RequestKind::kMultiView) {
+    // Stack per-request [T_p, dim_p] views into [T_p, B, dim_p] per view
+    // (same layout as data::make_batch).
+    const auto& cfg = multiview_->config();
+    std::vector<Tensor> stacked;
+    stacked.reserve(cfg.view_dims.size());
+    for (std::size_t p = 0; p < cfg.view_dims.size(); ++p) {
+      const std::int64_t t_len = cfg.seq_lens[p];
+      const std::int64_t dim = cfg.view_dims[p];
+      Tensor dst({t_len, b, dim});
+      for (std::int64_t bi = 0; bi < b; ++bi) {
+        const Tensor& v = batch[static_cast<std::size_t>(bi)]
+                              .request.views[p];  // [T, dim]
+        for (std::int64_t t = 0; t < t_len; ++t)
+          for (std::int64_t f = 0; f < dim; ++f)
+            dst[(t * b + bi) * dim + f] = v[t * dim + f];
+      }
+      stacked.push_back(std::move(dst));
+    }
+    return multiview_->infer(stacked);
+  }
+
+  // kSplit: perturb each request individually (its own seeded Rng), then
+  // stack the perturbed rows — batching must not change any noise draw.
+  const std::int64_t dim = batch.front().request.representation.shape(1);
+  Tensor reps({b, dim});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const Tensor pert =
+        perturbed_representation(batch[static_cast<std::size_t>(bi)].request);
+    MDL_CHECK(pert.shape(1) == dim,
+              "split batch mixes representation widths");
+    for (std::int64_t f = 0; f < dim; ++f) reps[bi * dim + f] = pert[f];
+  }
+  return split_->cloud_infer(reps);
+}
+
+Tensor InferenceServer::score(const InferenceRequest& request) const {
+  validate(request);
+  if (request.kind == RequestKind::kMultiView) {
+    std::vector<Tensor> views;
+    views.reserve(request.views.size());
+    const auto& cfg = multiview_->config();
+    for (std::size_t p = 0; p < request.views.size(); ++p)
+      views.push_back(request.views[p].reshape(
+          {cfg.seq_lens[p], 1, cfg.view_dims[p]}));
+    return multiview_->infer(views);
+  }
+  return split_->cloud_infer(perturbed_representation(request));
+}
+
+void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
+  MDL_OBS_SPAN("serve.batch");
+  const auto formed = Clock::now();
+  const auto b = static_cast<std::int64_t>(batch.size());
+  MDL_OBS_COUNTER_ADD("serve.batches", 1);
+  observe_occupancy(b);
+
+  Tensor logits = infer_stacked(batch);  // [B, classes]
+  const auto done = Clock::now();
+  const double exec_us = us_between(formed, done);
+  MDL_OBS_HISTOGRAM_OBSERVE("serve.exec_us", exec_us);
+
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    PendingRequest& p = batch[static_cast<std::size_t>(bi)];
+    InferenceResult r;
+    r.status = RequestStatus::kOk;
+    r.logits = logits.slice_rows(bi, bi + 1);
+    r.argmax = r.logits.argmax_rows().front();
+    r.batch_size = b;
+    r.queue_wait_us = us_between(p.enqueue_time, formed);
+    r.exec_us = exec_us;
+    r.latency_us = us_between(p.enqueue_time, done);
+    MDL_OBS_HISTOGRAM_OBSERVE("serve.queue_wait_us", r.queue_wait_us);
+    MDL_OBS_HISTOGRAM_OBSERVE("serve.latency_us", r.latency_us);
+    MDL_OBS_COUNTER_ADD("serve.completed", 1);
+    p.promise.set_value(std::move(r));
+  }
+}
+
+void InferenceServer::run() {
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_.pop_batch();
+    if (batch.empty()) return;  // drained and shut down
+    execute_batch(std::move(batch));
+  }
+}
+
+}  // namespace mdl::serve

@@ -50,6 +50,16 @@ Tensor SplitInference::cloud_logits(const Tensor& representation) {
   return cloud_->forward(representation);
 }
 
+Tensor SplitInference::cloud_infer(const Tensor& representation) const {
+  MDL_OBS_SPAN("split.cloud_logits");
+  return cloud_->infer(representation);
+}
+
+Tensor SplitInference::local_infer(const Tensor& x) const {
+  MDL_OBS_SPAN("split.local_representation");
+  return local_->infer(x);
+}
+
 std::vector<std::int64_t> SplitInference::predict(const Tensor& x,
                                                   const PerturbConfig& config,
                                                   Rng& rng) {

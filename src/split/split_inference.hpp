@@ -65,6 +65,14 @@ class SplitInference {
   /// Cloud-side: (perturbed) representation -> logits.
   Tensor cloud_logits(const Tensor& representation);
 
+  /// Cloud-side, inference-only: bit-identical to cloud_logits() in eval
+  /// mode but const and cache-free, so one cloud half can serve concurrent
+  /// requests (the mdl::serve execution path).
+  Tensor cloud_infer(const Tensor& representation) const;
+
+  /// Phone-side, inference-only counterpart of local_representation().
+  Tensor local_infer(const Tensor& x) const;
+
   /// End-to-end private prediction.
   std::vector<std::int64_t> predict(const Tensor& x,
                                     const PerturbConfig& config, Rng& rng);

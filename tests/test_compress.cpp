@@ -326,6 +326,32 @@ TEST(Huffman, NearEntropyOnUniform) {
   EXPECT_NEAR(bits_per_symbol, 3.0, 0.1);  // entropy = 3 bits
 }
 
+TEST(Huffman, AlphabetSizeOneRoundTrips) {
+  // Degenerate alphabet: only one possible symbol, so the stream carries no
+  // information beyond its length.
+  const std::vector<std::uint32_t> symbols(50, 0);
+  const HuffmanEncoded enc = huffman_encode(symbols, 1);
+  EXPECT_EQ(huffman_decode(enc), symbols);
+  EXPECT_LE(enc.payload.size(), 7U);  // <= 1 bit/symbol
+}
+
+TEST(Huffman, AllEqualFrequenciesGiveFixedWidthCode) {
+  // A uniform 8-symbol stream has no skew to exploit: every code must be
+  // exactly log2(8) = 3 bits and the payload exactly 3 bits/symbol.
+  std::vector<std::uint32_t> symbols;
+  for (int rep = 0; rep < 32; ++rep)
+    for (std::uint32_t s = 0; s < 8; ++s) symbols.push_back(s);
+  const HuffmanEncoded enc = huffman_encode(symbols, 8);
+  for (std::uint32_t s = 0; s < 8; ++s) EXPECT_EQ(enc.code_lengths[s], 3);
+  EXPECT_EQ(enc.payload.size(), symbols.size() * 3 / 8);
+  EXPECT_EQ(huffman_decode(enc), symbols);
+}
+
+TEST(Huffman, EmptyAlphabetThrows) {
+  const std::vector<std::uint32_t> symbols;
+  EXPECT_THROW(huffman_encode(symbols, 0), Error);
+}
+
 TEST(Huffman, SymbolOutsideAlphabetThrows) {
   const std::vector<std::uint32_t> symbols{5};
   EXPECT_THROW(huffman_encode(symbols, 4), Error);

@@ -66,6 +66,51 @@ TEST(Int8Linear, ZeroInputGivesBias) {
   EXPECT_NEAR(y.at(1, 1), -2.0F, 1e-6);
 }
 
+TEST(Int8Linear, AllEqualWeightsRoundTripExactly) {
+  // Every weight in a row equal to v quantizes to +/-127 at scale |v|/127,
+  // so dequantization is exact (up to float rounding), not half-step.
+  Rng rng(11);
+  nn::Linear lin(6, 2, rng);
+  for (std::int64_t c = 0; c < 6; ++c) {
+    lin.weight().value[0 * 6 + c] = 0.75F;
+    lin.weight().value[1 * 6 + c] = -0.25F;
+  }
+  Int8Linear q(lin);
+  const Tensor deq = q.dequantized_weight();
+  for (std::int64_t c = 0; c < 6; ++c) {
+    EXPECT_NEAR(deq[0 * 6 + c], 0.75F, 1e-6);
+    EXPECT_NEAR(deq[1 * 6 + c], -0.25F, 1e-6);
+  }
+}
+
+TEST(Int8Linear, ZeroWeightRowStaysFiniteAndBiasOnly) {
+  Rng rng(12);
+  nn::Linear lin(4, 2, rng);
+  for (std::int64_t c = 0; c < 4; ++c) lin.weight().value[0 * 4 + c] = 0.0F;
+  lin.bias().value = Tensor({2}, {0.5F, -1.0F});
+  Int8Linear q(lin);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const Tensor y = q.forward(x);
+  for (std::int64_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(std::isfinite(y.at(n, 0)));
+    EXPECT_NEAR(y.at(n, 0), 0.5F, 1e-6);  // all-zero row contributes nothing
+  }
+}
+
+TEST(Int8Linear, SingleFeatureIsExactUpToRounding) {
+  // With one input feature both weight and activation quantize to exactly
+  // +/-127, so w*x survives quantization bit-for-bit in the int domain.
+  Rng rng(13);
+  nn::Linear lin(1, 1, rng);
+  lin.weight().value[0] = -0.6F;
+  lin.bias().value = Tensor({1}, {0.1F});
+  Int8Linear q(lin);
+  for (const float x : {-2.0F, -0.5F, 0.0F, 1.25F}) {
+    const Tensor y = q.forward(Tensor({1, 1}, {x}));
+    EXPECT_NEAR(y.at(0, 0), -0.6F * x + 0.1F, 1e-5) << "x=" << x;
+  }
+}
+
 TEST(Int8Quantize, MlpAccuracyPreserved) {
   Rng rng(6);
   data::SyntheticConfig sc;

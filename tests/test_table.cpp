@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/error.hpp"
@@ -47,11 +48,65 @@ TEST(Table, EmptyHeadersThrow) {
   EXPECT_THROW(TablePrinter({}), Error);
 }
 
+TEST(Table, EmptyTablePrintsHeaderAndSeparatorOnly) {
+  TablePrinter t({"x", "y"});
+  EXPECT_EQ(t.num_rows(), 0U);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + separator
+  EXPECT_NE(s.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  TablePrinter t({"m", "value"});
+  t.begin_row().add("a-very-long-method-name").add(std::int64_t{1});
+  t.begin_row().add("x").add(std::int64_t{22});
+  std::ostringstream os;
+  t.print(os);
+  // Every line is padded to the same width, so alignment holds even when a
+  // cell is wider than its header.
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(os.str().find("| x "), std::string::npos);
+}
+
+TEST(Table, SpecialCharacterCellsPassThroughVerbatim) {
+  // TablePrinter targets human-readable stdout, not a parser: cells with
+  // pipes/percents are emitted as-is and still count toward column width.
+  TablePrinter t({"cell"});
+  t.begin_row().add("a|b%c");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| a|b%c |"), std::string::npos);
+}
+
+TEST(Table, ShortRowPadsMissingCells) {
+  TablePrinter t({"a", "b"});
+  t.begin_row().add("only");
+  std::ostringstream os;
+  t.print(os);  // must not throw; missing cell renders as blanks
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
 TEST(FormatBytes, HumanReadable) {
   EXPECT_EQ(format_bytes(512), "512 B");
   EXPECT_EQ(format_bytes(2048), "2.0 KiB");
   EXPECT_EQ(format_bytes(5 * 1024 * 1024), "5.0 MiB");
   EXPECT_EQ(format_bytes(0), "0 B");
+}
+
+TEST(FormatBytes, UnitBoundaries) {
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+  EXPECT_EQ(format_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(format_bytes(1024ULL * 1024 * 1024), "1.0 GiB");
+  // GiB is the largest unit; bigger values stay in GiB rather than lying.
+  EXPECT_EQ(format_bytes(5ULL * 1024 * 1024 * 1024 * 1024), "5120.0 GiB");
 }
 
 }  // namespace
