@@ -13,11 +13,30 @@
 #include <string_view>
 
 #include "ckpt/checkpoint.hpp"
+#include "core/threadpool.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_logger.hpp"
 
 namespace mdl::bench {
+
+/// Version of the bench JSONL record layout, stamped on every record so
+/// downstream tooling can detect incompatible dumps. Bump when renaming or
+/// re-typing fields that scripts/plots consume.
+inline constexpr int kJsonlSchemaVersion = 2;
+
+/// Build provenance baked in by bench/CMakeLists.txt; "unknown"/"" outside
+/// a bench target (e.g. when a test includes this header directly).
+#ifndef MDL_BUILD_GIT_SHA
+#define MDL_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef MDL_BUILD_TYPE
+#define MDL_BUILD_TYPE ""
+#endif
+#ifndef MDL_BUILD_SANITIZE
+#define MDL_BUILD_SANITIZE ""
+#endif
 
 namespace detail {
 
@@ -31,21 +50,21 @@ inline obs::RunLogger& logger() {
   return instance;
 }
 
+/// Emits the one-shot "build_info" record as soon as both the sink and the
+/// experiment id exist. Benches call banner()/init_logging() in either
+/// order, so both call this.
+inline void maybe_log_build_info();
+
 }  // namespace detail
 
 /// Banner printed at the top of every experiment bench. Also registers
-/// `experiment_id` as the "experiment" field of every JSONL record.
+/// `experiment_id` as the "experiment" field of every JSONL record and, when
+/// a JSONL sink is active, writes one "build_info" provenance record (commit,
+/// build type, sanitizers, thread count) so every dump is self-describing.
+/// Call after init_logging().
 inline void banner(const std::string& experiment_id,
                    const std::string& paper_artifact,
-                   const std::string& description) {
-  detail::experiment_id() = experiment_id;
-  std::cout << "==============================================================="
-               "=\n"
-            << experiment_id << " — " << paper_artifact << '\n'
-            << description << '\n'
-            << "==============================================================="
-               "=\n\n";
-}
+                   const std::string& description);
 
 /// Enables JSONL output when `--json <path>` was passed or MDL_JSON_OUT is
 /// set. Call once at the top of main(); safe to skip (logging stays off).
@@ -57,6 +76,12 @@ inline void init_logging(int argc, char** argv) {
       path = argv[i + 1];
   }
   if (!path.empty()) detail::logger().open(path);
+  // Touch the global flight recorder so MDL_TRACE_OUT's at-exit dump is
+  // armed even if nothing emits — in particular under MDL_OBS_DISABLED,
+  // where the emit macros are no-ops but a requested trace file must
+  // still appear (valid and empty).
+  obs::FlightRecorder::global();
+  detail::maybe_log_build_info();
 }
 
 /// True when a JSONL sink is active.
@@ -93,16 +118,45 @@ inline ckpt::CheckpointConfig with_subdir(const CheckpointArgs& args,
   return cfg;
 }
 
-/// Starts a record pre-populated with the experiment id and event name
-/// ("round", "trial", ...). Add fields, then pass to log().
+/// Starts a record pre-populated with the experiment id, event name
+/// ("round", "trial", ...), and the JSONL schema version. Add fields, then
+/// pass to log().
 inline obs::RunRecord record(const std::string& event) {
   obs::RunRecord r;
-  r.add("experiment", detail::experiment_id()).add("event", event);
+  r.add("experiment", detail::experiment_id())
+      .add("event", event)
+      .add("schema_version", kJsonlSchemaVersion);
   return r;
 }
 
 /// Writes one JSONL line (no-op without a sink).
 inline void log(const obs::RunRecord& r) { detail::logger().log(r); }
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& paper_artifact,
+                   const std::string& description) {
+  detail::experiment_id() = experiment_id;
+  obs::FlightRecorder::global();  // arm MDL_TRACE_OUT (see init_logging)
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment_id << " — " << paper_artifact << '\n'
+            << description << '\n'
+            << "==============================================================="
+               "=\n\n";
+  detail::maybe_log_build_info();
+}
+
+inline void detail::maybe_log_build_info() {
+  static bool logged = false;
+  if (logged || !json_enabled() || detail::experiment_id().empty()) return;
+  logged = true;
+  log(record("build_info")
+          .add("git_sha", MDL_BUILD_GIT_SHA)
+          .add("build_type", MDL_BUILD_TYPE)
+          .add("sanitize", MDL_BUILD_SANITIZE)
+          .add("threads", static_cast<std::int64_t>(shared_pool_threads()))
+          .add("obs_enabled", obs::kEnabled));
+}
 
 /// Dumps the global metrics registry as JSONL "metric" records — call at
 /// the end of a bench so counters/histograms land next to the run records.

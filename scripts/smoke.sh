@@ -36,6 +36,7 @@ BENCHES=(
   tab_binary_identification
   tab_mobile_inference
   serve_throughput
+  trace_overhead
 )
 for bench in "${BENCHES[@]}"; do
   echo "=== $bench (MDL_QUICK=1) ==="
@@ -45,6 +46,15 @@ for bench in "${BENCHES[@]}"; do
     exit 1
   }
 done
+
+# Flight recorder: a serve run with MDL_TRACE_OUT must leave a Chrome-trace
+# JSON that parses and passes the required-key schema check, and the
+# summarizer must be able to read it back.
+echo "=== flight-recorder trace (serve_throughput + trace_report.py) ==="
+MDL_QUICK=1 MDL_TRACE_OUT="$OUT_DIR/trace.json" \
+  "$BUILD_DIR/bench/serve_throughput" > /dev/null
+python3 scripts/trace_report.py --check "$OUT_DIR/trace.json"
+python3 scripts/trace_report.py "$OUT_DIR/trace.json"
 
 # Kill-and-resume: SIGKILL a checkpointing FedAvg run mid-training, resume
 # it in a fresh process, and require the final model to be byte-identical
@@ -110,7 +120,7 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   for threads in 2 8; do
     TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
       "$TSAN_DIR/tests/mdl_tests" \
-      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*'
+      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*'
   done
 fi
 

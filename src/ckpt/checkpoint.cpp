@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace mdl::ckpt {
@@ -132,7 +133,16 @@ std::optional<std::int64_t> CheckpointManager::load_latest(
 TrainerGuard::TrainerGuard(const CheckpointConfig& checkpoint,
                            const HealthConfig& health, std::string trainer)
     : health_(health), trainer_(std::move(trainer)) {
-  if (!checkpoint.dir.empty()) manager_.emplace(checkpoint);
+  if (!checkpoint.dir.empty()) {
+    manager_.emplace(checkpoint);
+#ifndef MDL_OBS_DISABLED
+    // A fatal signal mid-training dumps the flight-recorder timeline next
+    // to the ckpt.<round> archives, so the crash report and the state to
+    // resume from land in the same directory.
+    obs::FlightRecorder::install_crash_handler(
+        (fs::path(checkpoint.dir) / "trace.crash.json").string());
+#endif
+  }
 }
 
 std::int64_t TrainerGuard::begin(const PayloadWriter& save,

@@ -67,10 +67,14 @@ void ThreadPool::worker_loop() {
       jobs_.pop();
     }
     MDL_OBS_GAUGE_ADD("threadpool.queue_depth", -1.0);
+    // Sampled by the flight-recorder counter sampler as a pool-utilization
+    // timeline (a "C" track in the exported trace).
+    MDL_OBS_GAUGE_ADD("threadpool.busy_workers", 1.0);
     {
       MDL_OBS_TIMER_US("threadpool.task_us");
       task();  // exceptions land in the packaged_task's future
     }
+    MDL_OBS_GAUGE_ADD("threadpool.busy_workers", -1.0);
     MDL_OBS_COUNTER_ADD("threadpool.tasks_completed", 1);
   }
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/threadpool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
@@ -95,7 +96,7 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
   const std::int64_t start_round = guard.begin(save, load) + 1;
 
   for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
-    MDL_OBS_SPAN("fedavg.round");
+    MDL_OBS_SPAN_T("fedavg.round", obs::track_round(round));
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
     const std::vector<float> w_global = nn::flatten_values(global_params);
@@ -165,7 +166,9 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
       std::vector<std::vector<float>> uploads(n_clients);
       std::vector<double> client_us(n_clients, 0.0);
       parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
-        MDL_OBS_SPAN("client_update");  // fedavg.round/client_update inline
+        // fedavg.round/client_update inline; ring track = (round, client id)
+        MDL_OBS_SPAN_T("client_update",
+                       obs::track_round_client(round, survivors[c]));
         const auto t0 = std::chrono::steady_clock::now();
         nn::Sequential& worker = *client_workers_[c];
         const auto worker_params = worker.parameters();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/threadpool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
@@ -123,7 +124,7 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
   const std::int64_t start_round = guard.begin(save, load) + 1;
 
   for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
-    MDL_OBS_SPAN("selective_sgd.round");
+    MDL_OBS_SPAN_T("selective_sgd.round", obs::track_round(round));
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
 
@@ -179,7 +180,8 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
         n_active);
     std::vector<double> client_us(n_active, 0.0);
     parallel_for(shared_pool(), n_active, [&](std::size_t c) {
-      MDL_OBS_SPAN("participant_update");
+      MDL_OBS_SPAN_T("participant_update",
+                     obs::track_round_client(round, active[c]));
       const auto t0 = std::chrono::steady_clock::now();
       const std::size_t k = active[c];
       std::vector<float>& local = locals_[k];

@@ -137,6 +137,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+std::vector<std::pair<const char*, double>>
+MetricsRegistry::sample_gauges() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<const char*, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.emplace_back(name.c_str(), g->value());
+  return out;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mu_);
   MetricsSnapshot snap;

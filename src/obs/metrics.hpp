@@ -152,6 +152,13 @@ class MetricsRegistry {
                        const std::vector<double>& bounds = {});
 
   MetricsSnapshot snapshot() const;
+
+  /// Lightweight gauge sweep for the flight-recorder counter sampler: the
+  /// current value of every registered gauge, keyed by a pointer into the
+  /// registry's own name storage (stable for the registry's lifetime, so
+  /// ring events may hold it without copying).
+  std::vector<std::pair<const char*, double>> sample_gauges() const;
+
   /// Zeroes every metric (registrations and cached references stay valid).
   void reset();
 

@@ -1,0 +1,48 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+
+#include "core/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdl::obs {
+
+CounterSampler::CounterSampler(std::int64_t period_us)
+    : period_us_(period_us) {
+  MDL_CHECK(period_us_ > 0, "sampler period must be positive");
+  thread_ = std::thread([this] { run(); });
+}
+
+CounterSampler::~CounterSampler() { stop(); }
+
+void CounterSampler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CounterSampler::run() {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_thread_label("obs.sampler");
+  const auto period = std::chrono::microseconds(period_us_);
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    if (recorder.enabled()) {
+      // Gauge names are pointers into the registry's own storage, which
+      // outlives every dump (see MetricsRegistry::sample_gauges).
+      for (const auto& [name, value] :
+           MetricsRegistry::global().sample_gauges())
+        recorder.emit(EventType::kCounter, name, 0, "value", value);
+      ticks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+    cv_.wait_for(lock, period, [this] { return stop_; });
+  }
+}
+
+}  // namespace mdl::obs

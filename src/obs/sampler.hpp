@@ -1,0 +1,49 @@
+// Periodic counter sampling for the flight recorder: a background thread
+// that, every `period_us`, sweeps every gauge in the global MetricsRegistry
+// and emits one kCounter ring event per gauge onto its own trace track
+// (thread label "obs.sampler"). Queue depth, requests in flight, batch
+// occupancy and pool utilization all surface as time series in the exported
+// Chrome trace, lined up against the request spans they explain.
+//
+// The sampler is a no-op while the global FlightRecorder is disabled (the
+// emit calls drop out) and costs one gauge sweep per tick otherwise. It
+// never touches histograms, so ticks stay O(#gauges) with a single short
+// registry lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace mdl::obs {
+
+class CounterSampler {
+ public:
+  /// Starts sampling immediately. `period_us` must be positive.
+  explicit CounterSampler(std::int64_t period_us = 1000);
+  /// Stops and joins the sampler thread.
+  ~CounterSampler();
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  /// Idempotent early stop (also called by the destructor).
+  void stop();
+
+  std::int64_t period_us() const { return period_us_; }
+  /// Ticks completed so far (each tick samples every gauge once).
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+
+  std::int64_t period_us_;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mdl::obs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obs/flight.hpp"
 
 namespace mdl::obs {
 namespace {
@@ -28,11 +29,16 @@ std::string join_stack() {
 
 }  // namespace
 
-TraceSpan::TraceSpan(const char* name, MetricsRegistry& registry)
-    : registry_(registry), start_ns_(now_ns()) {
+TraceSpan::TraceSpan(const char* name, MetricsRegistry& registry,
+                     std::uint64_t track)
+    : registry_(registry), name_(name), track_(track), start_ns_(now_ns()) {
   MDL_CHECK(name != nullptr && *name != '\0', "span name must be non-empty");
   t_span_stack.push_back(name);
+  FlightRecorder::global().emit(EventType::kBegin, name_, track_);
 }
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t track)
+    : TraceSpan(name, MetricsRegistry::global(), track) {}
 
 TraceSpan::~TraceSpan() {
   // The histogram name depends on the full stack at close time, so the
@@ -40,6 +46,7 @@ TraceSpan::~TraceSpan() {
   // steps, inference calls), where one map lookup is noise.
   const std::string metric = "span." + join_stack();
   t_span_stack.pop_back();
+  FlightRecorder::global().emit(EventType::kEnd, name_, track_);
   registry_.histogram(metric).observe(elapsed_us());
 }
 

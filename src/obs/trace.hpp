@@ -7,8 +7,16 @@
 // observed into a latency histogram named `span.<path>` (microseconds) in
 // the target registry.
 //
-// Use the MDL_OBS_SPAN(name) macro at instrumentation sites so the span
-// compiles away entirely under -DMDL_OBS_DISABLED.
+// Since mdl::obs v2 every span additionally emits a kBegin/kEnd event pair
+// into the global FlightRecorder ring (see obs/flight.hpp), optionally
+// tagged with a 64-bit track id (request id, round<<32|client, ...), so the
+// same instrumentation site feeds both the aggregate histogram and the
+// per-event timeline. The histogram path is unchanged and bit-compatible
+// with v1: same metric names, same values.
+//
+// Use the MDL_OBS_SPAN(name) / MDL_OBS_SPAN_T(name, track) macros at
+// instrumentation sites so the span compiles away entirely under
+// -DMDL_OBS_DISABLED.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +28,13 @@ namespace mdl::obs {
 
 class TraceSpan {
  public:
-  /// `name` must outlive the span (string literals at call sites).
+  /// `name` must outlive the span (string literals at call sites). `track`
+  /// tags the ring events (0 = untracked); it does not affect the histogram.
   explicit TraceSpan(const char* name,
-                     MetricsRegistry& registry = MetricsRegistry::global());
+                     MetricsRegistry& registry = MetricsRegistry::global(),
+                     std::uint64_t track = 0);
+  /// Track-tagged span against the global registry (MDL_OBS_SPAN_T).
+  TraceSpan(const char* name, std::uint64_t track);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -37,6 +49,8 @@ class TraceSpan {
 
  private:
   MetricsRegistry& registry_;
+  const char* name_;
+  std::uint64_t track_;
   std::uint64_t start_ns_;
 };
 
@@ -46,8 +60,16 @@ class TraceSpan {
 /// Opens a TraceSpan covering the rest of the enclosing scope.
 #define MDL_OBS_SPAN(name) \
   ::mdl::obs::TraceSpan MDL_OBS_CONCAT_(mdl_obs_span_, __LINE__)(name)
+/// Like MDL_OBS_SPAN, with the ring events tagged by a 64-bit track id.
+#define MDL_OBS_SPAN_T(name, track)                          \
+  ::mdl::obs::TraceSpan MDL_OBS_CONCAT_(mdl_obs_span_,       \
+                                        __LINE__)(name,      \
+                                                  static_cast<std::uint64_t>(track))
 #else
 #define MDL_OBS_SPAN(name) \
   do {                     \
+  } while (0)
+#define MDL_OBS_SPAN_T(name, track) \
+  do {                              \
   } while (0)
 #endif

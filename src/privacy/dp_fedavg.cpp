@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "core/threadpool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "privacy/mechanisms.hpp"
 #include "sim/sim_network.hpp"
 
@@ -94,6 +96,7 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
   const std::int64_t start_round = guard.begin(save, load) + 1;
 
   for (std::int64_t round = start_round; round <= config_.rounds; ++round) {
+    MDL_OBS_SPAN_T("dp_fedavg.round", obs::track_round(round));
     const std::vector<float> w_global = nn::flatten_values(global_params);
     std::vector<double> update_sum(p_count, 0.0);
 
@@ -150,6 +153,8 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     std::vector<std::vector<float>> updates(n_clients);
     std::vector<double> client_us(n_clients, 0.0);
     parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
+      MDL_OBS_SPAN_T("client_update",
+                     obs::track_round_client(round, participants[c]));
       const auto t0 = std::chrono::steady_clock::now();
       nn::Sequential& worker = *client_workers_[c];
       const auto worker_params = worker.parameters();

@@ -1,6 +1,7 @@
 #include "serve/batch_queue.hpp"
 
 #include "core/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace mdl::serve {
@@ -42,12 +43,20 @@ void BatchQueue::shed_expired_locked(
       ++it;
       continue;
     }
+    const std::uint64_t rid = it->request.request_id;
     InferenceResult r;
     r.status = RequestStatus::kShedDeadline;
+    r.request_id = rid;
+    r.shed_reason = "deadline";
     r.queue_wait_us = us_between(it->enqueue_time, now);
     r.latency_us = r.queue_wait_us;
     it->promise.set_value(std::move(r));
     MDL_OBS_COUNTER_ADD("serve.shed_deadline", 1);
+    MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
+    MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.shed", rid,
+                       "waited_us", r.queue_wait_us, "reason", "deadline");
+    MDL_OBS_ASYNC_END("serve.queue", rid);
+    MDL_OBS_ASYNC_END("serve.request", rid);
     it = queue_.erase(it);
   }
 }

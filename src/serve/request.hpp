@@ -32,6 +32,13 @@ enum class RequestKind {
 struct InferenceRequest {
   RequestKind kind = RequestKind::kMultiView;
 
+  /// Trace/track identity of this request. 0 (the default) lets submit()
+  /// assign the next id from a process-wide counter; a non-zero id is kept
+  /// as-is so callers can correlate with their own upstream ids. The id
+  /// tags every flight-recorder event the request touches (queue wait,
+  /// batch execution, shed/reject) and is echoed on the result.
+  std::uint64_t request_id = 0;
+
   /// kMultiView: one [T_p, dim_p] tensor per view (single example).
   std::vector<Tensor> views;
 
@@ -56,6 +63,13 @@ const char* to_string(RequestStatus s);
 
 struct InferenceResult {
   RequestStatus status = RequestStatus::kOk;
+  /// Echoes the request's (possibly auto-assigned) id, on every status —
+  /// including shed/rejected results, so failed requests can be found in a
+  /// flight-recorder dump by id.
+  std::uint64_t request_id = 0;
+  /// Why the request was not executed ("deadline", "shutdown"); nullptr on
+  /// kOk. Always a static string, safe to hold indefinitely.
+  const char* shed_reason = nullptr;
   Tensor logits;            ///< [1, classes]; empty unless kOk
   std::int64_t argmax = -1; ///< predicted class; -1 unless kOk
   std::int64_t batch_size = 0;  ///< occupancy of the executing batch

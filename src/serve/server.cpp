@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/random.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -12,6 +13,10 @@ namespace mdl::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Process-wide so ids stay unique across servers (and across a server
+/// restart) — a trace dump never shows two requests sharing a track.
+std::atomic<std::uint64_t> g_next_request_id{1};
 
 double us_between(Clock::time_point from, Clock::time_point to) {
   return static_cast<double>(
@@ -48,7 +53,12 @@ InferenceServer::InferenceServer(const apps::MultiViewModel* multiview,
             "server needs at least one model");
   MDL_CHECK(config_.default_deadline_us >= 0,
             "default_deadline_us must be >= 0");
+  MDL_CHECK(config_.sampler_period_us >= 0,
+            "sampler_period_us must be >= 0");
   executor_ = std::thread([this] { run(); });
+  if (config_.sampler_period_us > 0)
+    sampler_ =
+        std::make_unique<obs::CounterSampler>(config_.sampler_period_us);
 }
 
 InferenceServer::~InferenceServer() { stop(); }
@@ -56,6 +66,7 @@ InferenceServer::~InferenceServer() { stop(); }
 void InferenceServer::stop() {
   queue_.shutdown();
   if (executor_.joinable()) executor_.join();
+  if (sampler_) sampler_->stop();
 }
 
 void InferenceServer::validate(const InferenceRequest& request) const {
@@ -85,6 +96,10 @@ std::future<InferenceResult> InferenceServer::submit(
     InferenceRequest request) {
   validate(request);
   MDL_OBS_COUNTER_ADD("serve.requests", 1);
+  if (request.request_id == 0)
+    request.request_id =
+        g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t rid = request.request_id;
 
   PendingRequest pending;
   pending.enqueue_time = Clock::now();
@@ -98,13 +113,27 @@ std::future<InferenceResult> InferenceServer::submit(
   pending.request = std::move(request);
   std::future<InferenceResult> future = pending.promise.get_future();
 
+  // The request's whole lifetime and its queue residency are async spans on
+  // its own track: begin here on the producer thread, ended wherever the
+  // request resolves (executor, shed scan, or right below on reject).
+  MDL_OBS_GAUGE_ADD("serve.requests_inflight", 1.0);
+  MDL_OBS_ASYNC_BEGIN("serve.request", rid);
+  MDL_OBS_ASYNC_BEGIN("serve.queue", rid);
+
   if (!queue_.push(std::move(pending))) {
     // Shut down between the caller's submit and the enqueue: reject.
     MDL_OBS_COUNTER_ADD("serve.rejected_shutdown", 1);
+    MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
+    MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.reject", rid,
+                       nullptr, 0.0, "reason", "shutdown");
+    MDL_OBS_ASYNC_END("serve.queue", rid);
+    MDL_OBS_ASYNC_END("serve.request", rid);
     std::promise<InferenceResult> rejected;
     future = rejected.get_future();
     InferenceResult r;
     r.status = RequestStatus::kRejectedShutdown;
+    r.request_id = rid;
+    r.shed_reason = "shutdown";
     rejected.set_value(std::move(r));
   }
   return future;
@@ -174,7 +203,14 @@ void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
   const auto formed = Clock::now();
   const auto b = static_cast<std::int64_t>(batch.size());
   MDL_OBS_COUNTER_ADD("serve.batches", 1);
+  MDL_OBS_GAUGE_SET("serve.batch_occupancy_last", static_cast<double>(b));
   observe_occupancy(b);
+  for (const PendingRequest& p : batch) {
+    MDL_OBS_ASYNC_END("serve.queue", p.request.request_id);
+    MDL_OBS_RING_EVENT(obs::EventType::kAsyncBegin, "serve.exec",
+                       p.request.request_id, "batch_size",
+                       static_cast<double>(b));
+  }
 
   Tensor logits = infer_stacked(batch);  // [B, classes]
   const auto done = Clock::now();
@@ -183,8 +219,10 @@ void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
 
   for (std::int64_t bi = 0; bi < b; ++bi) {
     PendingRequest& p = batch[static_cast<std::size_t>(bi)];
+    const std::uint64_t rid = p.request.request_id;
     InferenceResult r;
     r.status = RequestStatus::kOk;
+    r.request_id = rid;
     r.logits = logits.slice_rows(bi, bi + 1);
     r.argmax = r.logits.argmax_rows().front();
     r.batch_size = b;
@@ -194,11 +232,17 @@ void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
     MDL_OBS_HISTOGRAM_OBSERVE("serve.queue_wait_us", r.queue_wait_us);
     MDL_OBS_HISTOGRAM_OBSERVE("serve.latency_us", r.latency_us);
     MDL_OBS_COUNTER_ADD("serve.completed", 1);
+    MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
     p.promise.set_value(std::move(r));
+    MDL_OBS_ASYNC_END("serve.exec", rid);
+    MDL_OBS_ASYNC_END("serve.request", rid);
   }
 }
 
 void InferenceServer::run() {
+#ifndef MDL_OBS_DISABLED
+  obs::FlightRecorder::global().set_thread_label("serve.executor");
+#endif
   for (;;) {
     std::vector<PendingRequest> batch = queue_.pop_batch();
     if (batch.empty()) return;  // drained and shut down

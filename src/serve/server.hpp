@@ -17,11 +17,13 @@
 // published through mdl::obs under the serve.* prefix.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <thread>
 
 #include "apps/multiview_model.hpp"
+#include "obs/sampler.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/request.hpp"
 #include "split/split_inference.hpp"
@@ -35,6 +37,10 @@ struct ServeConfig {
   std::int64_t max_queue_delay_us = 2000;
   /// Deadline applied to requests that don't set one; 0 = no deadline.
   std::int64_t default_deadline_us = 0;
+  /// Period of the flight-recorder counter sampler the server runs while
+  /// alive (queue depth, inflight, batch occupancy show up as Chrome "C"
+  /// counter tracks). 0 disables the sampler thread.
+  std::int64_t sampler_period_us = 1000;
   /// Server-side perturbation for kSplit requests (Fig. 3 privacy path).
   split::PerturbConfig perturb;
 };
@@ -86,6 +92,9 @@ class InferenceServer {
   ServeConfig config_;
   BatchQueue queue_;
   std::thread executor_;
+  /// Null when sampler_period_us == 0. Declared after queue_/executor_ so
+  /// it stops first on destruction.
+  std::unique_ptr<obs::CounterSampler> sampler_;
 };
 
 }  // namespace mdl::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/random.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -142,14 +143,22 @@ RoundReport SimNetwork::run_round(std::int64_t round,
                                   std::uint64_t bytes_down,
                                   std::uint64_t bytes_up,
                                   double local_compute_s) {
-  MDL_OBS_SPAN("sim.round");
+  MDL_OBS_SPAN_T("sim.round", obs::track_round(round));
   RoundReport report;
   report.round = round;
   report.clients.reserve(clients.size());
 
   for (const std::size_t client : clients) {
+    // Real wall-clock begin/end around the exchange computation, tagged with
+    // the (round, client) track; the *simulated* elapsed time and fault
+    // outcome ride as args on the end event.
+    const std::uint64_t track = obs::track_round_client(round, client);
+    MDL_OBS_RING_BEGIN("sim.exchange", track);
     ClientExchange ex =
         simulate_exchange(round, client, bytes_down, bytes_up, local_compute_s);
+    MDL_OBS_RING_EVENT(obs::EventType::kEnd, "sim.exchange", track,
+                       "sim_elapsed_s", ex.elapsed_s, "outcome",
+                       to_string(ex.outcome));
     switch (ex.outcome) {
       case Outcome::kDelivered:
         ++report.delivered;

@@ -4,7 +4,8 @@
 // (DeepMood fusion) benches are compared line-by-line against committed
 // JSONL traces under tests/golden/. The comparator is tolerance-aware:
 //   - records with event == "metric" are skipped entirely (they carry
-//     wall-clock timings and environment-dependent counters);
+//     wall-clock timings and environment-dependent counters), as are
+//     "build_info" provenance records (per-commit git SHA);
 //   - timing/environment keys (wall_s, wall_s_per_round, threads) are
 //     dropped from every record;
 //   - integral numbers, strings and bools must match exactly;
@@ -104,7 +105,9 @@ std::vector<obs::Json> load_comparable_records(const std::string& path) {
     if (line.empty()) continue;
     obs::Json v = obs::Json::parse(line);
     EXPECT_TRUE(v.is_object()) << line;
-    if (v.has("event") && v.at("event").as_string() == "metric") continue;
+    if (v.has("event") && (v.at("event").as_string() == "metric" ||
+                           v.at("event").as_string() == "build_info"))
+      continue;
     records.push_back(std::move(v));
   }
   return records;

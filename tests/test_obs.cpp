@@ -187,6 +187,8 @@ TEST(Json, NumberEncodingHandlesNonFinite) {
 }
 
 TEST(Json, NonFiniteEncodingBumpsHealthCounter) {
+  if (!kEnabled)
+    GTEST_SKIP() << "counter macro is a no-op under MDL_OBS_DISABLED";
   // Every non-finite value that degrades to JSON null is counted, so a log
   // full of nulls is traceable to a numerical-health problem.
   Counter& c =

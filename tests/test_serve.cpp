@@ -14,6 +14,8 @@
 #include "core/threadpool.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "prop.hpp"
 
 namespace mdl::serve {
@@ -253,7 +255,12 @@ TEST(ServeQueue, DeadlineShedsUnexecutedRequests) {
   EXPECT_EQ(shed.logits.size(), 0);
   EXPECT_EQ(shed.argmax, -1);
   EXPECT_GE(shed.latency_us, 500.0);
-  EXPECT_EQ(patient_future.get().status, RequestStatus::kOk);
+  EXPECT_NE(shed.request_id, 0U);
+  ASSERT_NE(shed.shed_reason, nullptr);
+  EXPECT_STREQ(shed.shed_reason, "deadline");
+  const InferenceResult ok = patient_future.get();
+  EXPECT_EQ(ok.status, RequestStatus::kOk);
+  EXPECT_EQ(ok.shed_reason, nullptr);
 }
 
 TEST(ServeQueue, ShutdownDrainsStagedRequests) {
@@ -271,7 +278,11 @@ TEST(ServeQueue, ShutdownDrainsStagedRequests) {
   for (auto& f : futures) EXPECT_EQ(f.get().status, RequestStatus::kOk);
 
   auto rejected = server->submit(multiview_request(model, rng));
-  EXPECT_EQ(rejected.get().status, RequestStatus::kRejectedShutdown);
+  const InferenceResult r = rejected.get();
+  EXPECT_EQ(r.status, RequestStatus::kRejectedShutdown);
+  EXPECT_NE(r.request_id, 0U);
+  ASSERT_NE(r.shed_reason, nullptr);
+  EXPECT_STREQ(r.shed_reason, "shutdown");
   server.reset();
 }
 
@@ -413,12 +424,100 @@ TEST(ServeStress, ProducersDeadlinesAndShutdownRace) {
     server.resume();
     std::this_thread::sleep_for(std::chrono::microseconds(300));
   }
+  // Wait (bounded) for the executor to complete at least one request before
+  // shutting down mid-stream: under TSan the whole pipeline runs an order
+  // of magnitude slower, and a fixed sleep can stop the server before the
+  // first batch ever executes, leaving ok == 0 by timing alone.
+  for (int i = 0; i < 20000 && ok.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   server.stop();
 
   for (auto& p : producers) p.join();
   EXPECT_EQ(ok + shed + rejected, kProducers * kPerProducer);
   EXPECT_GT(ok.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing: ids, the inflight gauge, and the ring spans.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracing, RequestIdsAssignedUniqueAndEchoed) {
+  Rng rng(21);
+  const apps::MultiViewModel model = make_multiview(rng);
+  InferenceServer server(&model, nullptr, ServeConfig{});
+
+  auto f1 = server.submit(multiview_request(model, rng));
+  auto f2 = server.submit(multiview_request(model, rng));
+  InferenceRequest tagged = multiview_request(model, rng);
+  tagged.request_id = 0xC0FFEE;  // caller-supplied ids survive verbatim
+  auto f3 = server.submit(std::move(tagged));
+
+  const InferenceResult r1 = f1.get(), r2 = f2.get(), r3 = f3.get();
+  EXPECT_NE(r1.request_id, 0U);
+  EXPECT_NE(r2.request_id, 0U);
+  EXPECT_NE(r1.request_id, r2.request_id);
+  EXPECT_EQ(r3.request_id, 0xC0FFEEU);
+}
+
+TEST(ServeTracing, InflightGaugeReturnsToBaseline) {
+  obs::Gauge& inflight =
+      obs::MetricsRegistry::global().gauge("serve.requests_inflight");
+  const double before = inflight.value();
+  Rng rng(22);
+  const apps::MultiViewModel model = make_multiview(rng);
+  {
+    ServeConfig cfg;
+    cfg.default_deadline_us = 300;  // some requests shed below
+    InferenceServer server(&model, nullptr, cfg);
+    server.pause();
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 6; ++i)
+      futures.push_back(server.submit(multiview_request(model, rng)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server.resume();
+    for (auto& f : futures) f.get();  // mix of kOk and kShedDeadline
+    server.stop();
+    auto rejected = server.submit(multiview_request(model, rng));
+    EXPECT_EQ(rejected.get().status, RequestStatus::kRejectedShutdown);
+  }
+  // Every completion path (execute, shed, reject) must balance submit's +1.
+  EXPECT_DOUBLE_EQ(inflight.value(), before);
+}
+
+TEST(ServeTracing, RingSpansShareTheRequestId) {
+  if (!obs::kEnabled)
+    GTEST_SKIP() << "serve emits no ring events under MDL_OBS_DISABLED";
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  rec.set_enabled(true);
+  Rng rng(23);
+  const apps::MultiViewModel model = make_multiview(rng);
+  InferenceServer server(&model, nullptr, ServeConfig{});
+  const std::uint64_t rid = server.submit(multiview_request(model, rng))
+                                .get()
+                                .request_id;
+  // The executor emits its end events after resolving the future; join it
+  // before draining so the full chain is in the ring.
+  server.stop();
+
+  // The global ring holds events from the whole process; select this
+  // request's track and require the full queue -> exec -> resolve chain.
+  int begins = 0, ends = 0;
+  bool saw_queue = false, saw_exec = false, saw_request = false;
+  for (const obs::TraceEvent& e : rec.drain_snapshot()) {
+    if (e.track != rid) continue;
+    if (e.type == obs::EventType::kAsyncBegin) ++begins;
+    if (e.type == obs::EventType::kAsyncEnd) ++ends;
+    const std::string name = e.name;
+    saw_queue |= name == "serve.queue";
+    saw_exec |= name == "serve.exec";
+    saw_request |= name == "serve.request";
+  }
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_exec);
+  EXPECT_TRUE(saw_request);
 }
 
 }  // namespace
