@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "ckpt/checkpoint.hpp"
+#include "core/gemm.hpp"
 #include "core/threadpool.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
@@ -155,6 +156,7 @@ inline void detail::maybe_log_build_info() {
           .add("build_type", MDL_BUILD_TYPE)
           .add("sanitize", MDL_BUILD_SANITIZE)
           .add("threads", static_cast<std::int64_t>(shared_pool_threads()))
+          .add("gemm_kernel", gemm::kernel_name())
           .add("obs_enabled", obs::kEnabled));
 }
 

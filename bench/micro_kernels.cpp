@@ -9,26 +9,66 @@
 
 #include "bench_util.hpp"
 #include "compress/huffman.hpp"
+#include "compress/int8.hpp"
 #include "compress/prune.hpp"
 #include "compress/quantize.hpp"
 #include "compress/sparse_matrix.hpp"
+#include "core/cpu_features.hpp"
 #include "core/gemm.hpp"
 #include "core/tensor.hpp"
 #include "core/threadpool.hpp"
 #include "data/synthetic.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/gru.hpp"
+#include "nn/linear.hpp"
 
 namespace {
 
 using namespace mdl;
 
-// n^3 product through the blocked kernel at an explicit shared-pool size.
-// The 1-thread rows isolate the tiling gain; 2/8-thread rows add the
-// row-panel parallel path (only shapes above the flop threshold shard).
+// items_processed == flops, so google-benchmark's items_per_second column
+// IS GFLOP/s (x1e-9). Every matmul bench sets it from the dispatched
+// kernel's actual shape work: 2*m*k*n multiply-adds for a fresh product
+// AND for the accumulating (`_acc`) entry points — the accumulate is fused
+// into the per-term chain (start from the destination value), not a
+// separate m*n add pass, so it contributes no extra flops.
+std::int64_t gemm_flops(std::int64_t m, std::int64_t k, std::int64_t n) {
+  return 2 * m * k * n;
+}
+
+/// Applies the kernel-mode benchmark argument; returns false (after
+/// flagging the run as skipped) when the mode cannot run here.
+bool apply_mode(benchmark::State& state, std::int64_t mode_arg) {
+  const auto mode = static_cast<gemm::Mode>(mode_arg);
+  if (mode == gemm::Mode::kSimd && !cpu::simd_gemm_supported()) {
+    state.SkipWithError("MDL_GEMM=simd unsupported on this machine/build");
+    return false;
+  }
+  gemm::set_mode(mode);
+  state.SetLabel(gemm::mode_name(mode));
+  return true;
+}
+
+struct ModeRestore {
+  gemm::Mode saved = gemm::mode();
+  ~ModeRestore() { gemm::set_mode(saved); }
+};
+
+constexpr std::int64_t kModeNaive = static_cast<std::int64_t>(gemm::Mode::kNaive);
+constexpr std::int64_t kModeBlocked =
+    static_cast<std::int64_t>(gemm::Mode::kBlocked);
+constexpr std::int64_t kModeSimd = static_cast<std::int64_t>(gemm::Mode::kSimd);
+
+// n^3 product through the dispatched kernel at an explicit shared-pool
+// size. The 1-thread rows isolate the per-core kernel gain; 2/8-thread
+// rows add the row-panel parallel path (only shapes above the flop
+// threshold shard). Kernel suite selected by the third argument
+// (0=naive, 1=blocked, 2=simd) — the same A/B as MDL_GEMM.
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   const auto threads = static_cast<std::size_t>(state.range(1));
+  ModeRestore restore;
+  if (!apply_mode(state, state.range(2))) return;
   const std::size_t saved = shared_pool_threads();
   set_shared_pool_threads(threads);
   Rng rng(1);
@@ -39,37 +79,106 @@ void BM_Matmul(benchmark::State& state) {
   }
   set_shared_pool_threads(saved);
   state.counters["threads"] = static_cast<double>(threads);
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetItemsProcessed(state.iterations() * gemm_flops(n, n, n));
 }
-BENCHMARK(BM_Matmul)->ArgsProduct({{32, 64, 128, 256}, {1, 2, 8}});
+// UseRealTime: with threads > 1 the work runs on pool workers while the
+// bench thread blocks, so cpu-time-based G/s would be wildly inflated.
+BENCHMARK(BM_Matmul)
+    ->ArgsProduct(
+        {{32, 64, 128, 256}, {1, 2, 8}, {kModeNaive, kModeBlocked, kModeSimd}})
+    ->UseRealTime();
 
-// The retained naive reference kernel — the before side of the tiling A/B
-// (same numbers as running the whole binary under MDL_GEMM=naive).
-void BM_MatmulNaive(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  Rng rng(1);
-  const Tensor a = Tensor::randn({n, n}, rng);
-  const Tensor b = Tensor::randn({n, n}, rng);
-  for (auto _ : state) {
-    Tensor out({n, n});
-    gemm::reference::matmul_acc(a, b, out);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
-
+// A @ B^T — the Linear-forward / serve hot path — including the fused
+// accumulating form the GRU gates use (out += A @ B^T). Both count
+// 2*m*k*n: the accumulate rides the per-element chain for free.
 void BM_MatmulNT(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  ModeRestore restore;
+  if (!apply_mode(state, state.range(1))) return;
   Rng rng(2);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul_nt(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetItemsProcessed(state.iterations() * gemm_flops(n, n, n));
 }
-BENCHMARK(BM_MatmulNT)->Arg(64);
+BENCHMARK(BM_MatmulNT)->ArgsProduct(
+    {{64, 256}, {kModeNaive, kModeBlocked, kModeSimd}});
+
+void BM_MatmulNTAcc(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  ModeRestore restore;
+  if (!apply_mode(state, state.range(1))) return;
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  for (auto _ : state) {
+    matmul_nt_acc(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops(n, n, n));
+}
+BENCHMARK(BM_MatmulNTAcc)->ArgsProduct(
+    {{64, 256}, {kModeNaive, kModeBlocked, kModeSimd}});
+
+// Quantized u8 x s8 -> i32 GEMM with zero-point correction, scalar twin vs
+// AVX2. items_per_second here is integer GOP/s (2 int ops per term),
+// directly comparable to the float GFLOP/s rows above at the same shape.
+void BM_Int8Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  ModeRestore restore;
+  if (!apply_mode(state, state.range(1))) return;
+  Rng rng(14);
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(255) - 127);
+  std::vector<std::int32_t> za(static_cast<std::size_t>(n), 12);
+  std::vector<std::int32_t> rowsum(static_cast<std::size_t>(n), 0);
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t kk = 0; kk < n; ++kk)
+      rowsum[static_cast<std::size_t>(j)] += b[j * n + kk];
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    gemm::int8_gemm_nt(a.data(), b.data(), out.data(), n, n, n, za.data(),
+                       rowsum.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops(n, n, n));
+}
+BENCHMARK(BM_Int8Gemm)->ArgsProduct({{64, 256}, {kModeBlocked, kModeSimd}});
+
+// End-to-end layer forward: quantized Int8Linear vs the float Linear it
+// was built from, at a serve-sized width. Both report flops of the float
+// product they replace, so items_per_second compares directly.
+void BM_LinearInferFloat(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  const std::int64_t batch = state.range(1);
+  Rng rng(15);
+  nn::Linear lin(width, width, rng);
+  const Tensor x = Tensor::randn({batch, width}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin.infer(x));
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops(batch, width, width));
+}
+BENCHMARK(BM_LinearInferFloat)->ArgsProduct({{256, 512}, {8}});
+
+void BM_LinearInferInt8(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  const std::int64_t batch = state.range(1);
+  Rng rng(15);
+  nn::Linear lin(width, width, rng);
+  const compress::Int8Linear q(lin);
+  const Tensor x = Tensor::randn({batch, width}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.infer(x));
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops(batch, width, width));
+}
+BENCHMARK(BM_LinearInferInt8)->ArgsProduct({{256, 512}, {8}});
 
 void BM_GruStep(benchmark::State& state) {
   const std::int64_t batch = state.range(0);
@@ -194,6 +303,7 @@ class JsonlReporter : public benchmark::ConsoleReporter {
       rec.add("iterations", static_cast<std::int64_t>(run.iterations));
       rec.add("real_time_ns", run.GetAdjustedRealTime());
       rec.add("cpu_time_ns", run.GetAdjustedCPUTime());
+      if (!run.report_label.empty()) rec.add("kernel", run.report_label);
       for (const auto& [cname, counter] : run.counters)
         rec.add(cname, static_cast<double>(counter));
       bench::log(rec);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "compress/int8.hpp"
 #include "core/threadpool.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
@@ -36,17 +37,21 @@ using namespace mdl;
 
 constexpr std::int64_t kRepDim = 512;
 
-split::SplitInference make_model(Rng& rng) {
+std::unique_ptr<nn::Sequential> make_local(Rng& rng) {
   auto local = std::make_unique<nn::Sequential>();
   local->emplace<nn::Linear>(kRepDim, kRepDim, rng);
   local->emplace<nn::Tanh>();
+  return local;
+}
+
+std::unique_ptr<nn::Sequential> make_cloud(Rng& rng) {
   auto cloud = std::make_unique<nn::Sequential>();
   cloud->emplace<nn::Linear>(kRepDim, kRepDim, rng);
   cloud->emplace<nn::ReLU>();
   cloud->emplace<nn::Linear>(kRepDim, kRepDim, rng);
   cloud->emplace<nn::ReLU>();
   cloud->emplace<nn::Linear>(kRepDim, 8, rng);
-  return split::SplitInference(std::move(local), std::move(cloud));
+  return cloud;
 }
 
 serve::InferenceRequest make_request(Rng& rng) {
@@ -89,7 +94,8 @@ serve::ServeConfig base_config(std::int64_t max_batch) {
 
 double run_saturation(const split::SplitInference& model,
                       const std::vector<serve::InferenceRequest>& reqs,
-                      std::int64_t max_batch, double baseline_rps) {
+                      std::int64_t max_batch, double baseline_rps,
+                      const char* event = "saturation") {
   serve::InferenceServer server(nullptr, &model, base_config(max_batch));
   server.pause();
   std::vector<std::future<serve::InferenceResult>> futures;
@@ -121,7 +127,7 @@ double run_saturation(const split::SplitInference& model,
             << lat.p50 << "us  p99 " << lat.p99 << "us  speedup "
             << std::setprecision(2) << speedup << "x\n"
             << std::defaultfloat;
-  bench::log(bench::record("saturation")
+  bench::log(bench::record(event)
                  .add("max_batch_size", max_batch)
                  .add("requests", static_cast<std::int64_t>(reqs.size()))
                  .add("throughput_rps", rps)
@@ -204,18 +210,35 @@ int main(int argc, char** argv) {
       "20ms deadline showing goodput and shedding under pressure.");
 
   Rng rng(2025);
-  const split::SplitInference model = make_model(rng);
+  // One float cloud half, and its int8-quantized deployment form (same
+  // trained weights; the serve executor runs Int8Linear::infer through the
+  // integer GEMM).
+  auto cloud = make_cloud(rng);
+  auto cloud_int8 = compress::int8_quantize_mlp(*cloud);
+  const split::SplitInference model(make_local(rng), std::move(cloud));
+  const split::SplitInference model_int8(make_local(rng),
+                                         std::move(cloud_int8));
   const std::int64_t burst = bench::scaled(512, 96);
   std::vector<serve::InferenceRequest> reqs;
   reqs.reserve(static_cast<std::size_t>(burst));
   for (std::int64_t i = 0; i < burst; ++i) reqs.push_back(make_request(rng));
 
   std::cout << "saturation (closed-loop burst of " << burst
-            << " requests, MDL_THREADS=" << shared_pool_threads() << "):\n";
+            << " requests, MDL_THREADS=" << shared_pool_threads()
+            << ", gemm=" << gemm::kernel_name() << "):\n";
   double baseline = 0.0;
   for (const std::int64_t batch : {1, 2, 4, 8, 16}) {
     const double rps = run_saturation(model, reqs, batch, baseline);
     if (batch == 1) baseline = rps;
+  }
+
+  std::cout << "\nsaturation, int8-quantized cloud half (same weights, "
+               "integer GEMM):\n";
+  double baseline_int8 = 0.0;
+  for (const std::int64_t batch : {1, 2, 4, 8, 16}) {
+    const double rps = run_saturation(model_int8, reqs, batch, baseline_int8,
+                                      "saturation_int8");
+    if (batch == 1) baseline_int8 = rps;
   }
 
   const std::int64_t sweep_n = bench::scaled(400, 80);

@@ -11,9 +11,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target fig2_fedavg_communication fig4_deepmood_fusion
 
 mkdir -p tests/golden
-MDL_QUICK=1 "$BUILD_DIR/bench/fig2_fedavg_communication" \
+# MDL_GEMM=blocked: goldens record the canonical scalar-chain floats; the
+# AVX2 default would bake machine-dependent (ULP-shifted) values in.
+MDL_QUICK=1 MDL_GEMM=blocked "$BUILD_DIR/bench/fig2_fedavg_communication" \
   --json tests/golden/fig2_quick.jsonl >/dev/null
-MDL_QUICK=1 "$BUILD_DIR/bench/fig4_deepmood_fusion" \
+MDL_QUICK=1 MDL_GEMM=blocked "$BUILD_DIR/bench/fig4_deepmood_fusion" \
   --json tests/golden/fig4_quick.jsonl >/dev/null
 
 echo "regenerated:"

@@ -21,6 +21,19 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# GEMM dispatch matrix: the kernel-facing tests under every MDL_GEMM
+# value. simd only runs where the CPU has AVX2 (elsewhere requesting it is
+# the error path the dispatch tests cover from the default run above).
+for mode in naive blocked simd; do
+  if [[ "$mode" == simd ]] && ! grep -qw avx2 /proc/cpuinfo; then
+    echo "=== MDL_GEMM=simd skipped: CPU lacks AVX2 ==="
+    continue
+  fi
+  echo "=== MDL_GEMM=$mode (kernel-facing tests) ==="
+  MDL_GEMM=$mode "$BUILD_DIR/tests/mdl_tests" \
+    --gtest_filter='Gemm*:Tensor*:Int8*:ActQuant*:Linear*:Serve*'
+done
+
 OUT_DIR="$BUILD_DIR/smoke-jsonl"
 mkdir -p "$OUT_DIR"
 BENCHES=(
@@ -90,7 +103,7 @@ echo "kill-and-resume OK: resumed model byte-identical to uninterrupted run"
 echo "=== micro_kernels (filtered) ==="
 MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --json "$OUT_DIR/micro_kernels.jsonl" \
-  --benchmark_filter='BM_DenseMatvec|BM_GruStep/1' \
+  --benchmark_filter='BM_DenseMatvec|BM_GruStep/1|BM_Int8Gemm/64' \
   --benchmark_min_time=0.01
 
 # Sanitizer pass: rebuild the fast unit tier with ASan+UBSan and run it,
@@ -108,6 +121,12 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   cmake --build "$ASAN_DIR" -j "$(nproc)"
   UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$ASAN_DIR" -L unit --output-on-failure -j "$(nproc)"
+  # The differential kernel-equivalence harness under ASan+UBSan: the AVX2
+  # masked loads/stores and the unaligned-pointer sweep are exactly the
+  # code sanitizers exist to vet.
+  echo "=== GemmDiff harness under ASan+UBSan ==="
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$ASAN_DIR/tests/mdl_tests" --gtest_filter='GemmDiff.*'
 
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "=== concurrency tests under TSan ($TSAN_DIR) ==="

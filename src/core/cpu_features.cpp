@@ -1,0 +1,35 @@
+#include "core/cpu_features.hpp"
+
+namespace mdl::cpu {
+
+namespace {
+
+Features probe() {
+  Features f;
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang builtin CPUID wrappers; __builtin_cpu_supports consults a
+  // table initialized before main(), so this is cheap and signal-safe.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const Features& features() {
+  static const Features f = probe();
+  return f;
+}
+
+bool simd_gemm_supported() {
+#ifdef MDL_HAVE_AVX2
+  return features().avx2 && features().fma;
+#else
+  return false;
+#endif
+}
+
+const char* isa_name() { return simd_gemm_supported() ? "avx2" : "scalar"; }
+
+}  // namespace mdl::cpu

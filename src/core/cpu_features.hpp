@@ -1,0 +1,31 @@
+// Runtime CPU feature probe for the SIMD kernel dispatch in mdl::gemm.
+//
+// The probe runs once (first call) and is cached; it answers one question
+// the dispatcher needs: can this process run the AVX2+FMA micro-kernels?
+// That requires both the *build* to have compiled them in (MDL_HAVE_AVX2,
+// set by CMake when the compiler accepts -mavx2 -mfma for the one
+// per-file-ISA translation unit) and the *CPU* to advertise avx2 and fma —
+// the same two-sided check hzr uses to gate its SSE4/ARMv8 CRC kernels
+// behind one probe. Everything here is baseline-ISA code; only
+// gemm_simd_avx2.cpp is built with vector flags.
+#pragma once
+
+namespace mdl::cpu {
+
+/// CPUID-derived feature bits (false on non-x86 builds).
+struct Features {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Cached one-shot probe of the running CPU.
+const Features& features();
+
+/// True when the AVX2 GEMM micro-kernels were compiled in *and* the CPU
+/// supports them — the condition under which gemm::Mode::kSimd may run.
+bool simd_gemm_supported();
+
+/// Human-readable ISA the SIMD path would use: "avx2" or "scalar".
+const char* isa_name();
+
+}  // namespace mdl::cpu

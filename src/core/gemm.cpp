@@ -1,23 +1,41 @@
 #include "core/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
-#include <cstring>
+#include <mutex>
 #include <vector>
 
+#include "core/cpu_features.hpp"
 #include "core/error.hpp"
+#include "core/gemm_simd.hpp"
 #include "core/threadpool.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace mdl::gemm {
 
 namespace {
 
-Mode g_mode = [] {
-  if (const char* env = std::getenv("MDL_GEMM"))
-    if (std::strcmp(env, "naive") == 0) return Mode::kNaive;
-  return Mode::kTiled;
-}();
+/// Resolved kernel mode; -1 = not yet resolved. Resolution is lazy (first
+/// mode() call) rather than static-init so an invalid MDL_GEMM value can
+/// throw a catchable mdl::Error instead of terminating before main().
+std::atomic<int> g_mode{-1};
+
+/// The probe/override outcome is logged through mdl::obs exactly once per
+/// process, no matter how often the mode is re-resolved or overridden.
+std::once_flag g_log_once;
+
+void log_selection(Mode m, bool from_env) {
+  std::call_once(g_log_once, [&] {
+    const char* name = mode_name(m);
+    MDL_OBS_COUNTER_ADD(std::string("gemm.kernel.") + name, 1);
+    MDL_OBS_RING_EVENT(obs::EventType::kInstant, "gemm.dispatch", 0,
+                       from_env ? "override" : "probe", 1.0, "kernel", name);
+    (void)name;
+    (void)from_env;
+  });
+}
 
 // Micro kernel, one C row: crow[j0..j1) += sum_{kk in [k0,k1)} A[i,kk]*B[kk,j].
 // K is unrolled by 4 with one explicit scalar chain per j so the compiler
@@ -174,8 +192,58 @@ void check_matmul_shapes(const Tensor& a, const Tensor& b, const Tensor& out,
 
 }  // namespace
 
-Mode mode() { return g_mode; }
-void set_mode(Mode m) { g_mode = m; }
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kNaive: return "naive";
+    case Mode::kBlocked: return "blocked";
+    case Mode::kSimd: return "simd";
+  }
+  return "unknown";
+}
+
+Mode parse_mode(const std::string& value) {
+  if (value == "naive") return Mode::kNaive;
+  if (value == "blocked" || value == "tiled") return Mode::kBlocked;
+  if (value == "simd") {
+    MDL_CHECK(cpu::simd_gemm_supported(),
+              "MDL_GEMM=simd requested but this "
+                  << (gemm::simd::compiled() ? "CPU lacks AVX2/FMA"
+                                             : "build has no AVX2 kernels"));
+    return Mode::kSimd;
+  }
+  MDL_FAIL("unknown MDL_GEMM value `" << value
+                                      << "` (expected naive, blocked, "
+                                         "or simd)");
+}
+
+Mode resolve_mode(const char* env_value) {
+  if (env_value != nullptr && *env_value != '\0') {
+    const Mode m = parse_mode(env_value);
+    log_selection(m, /*from_env=*/true);
+    return m;
+  }
+  const Mode m =
+      cpu::simd_gemm_supported() ? Mode::kSimd : Mode::kBlocked;
+  log_selection(m, /*from_env=*/false);
+  return m;
+}
+
+Mode mode() {
+  const int m = g_mode.load(std::memory_order_relaxed);
+  if (m >= 0) return static_cast<Mode>(m);
+  // First use: resolve from MDL_GEMM / CPUID. Concurrent first calls race
+  // benignly — both resolve to the same answer (env and CPUID are stable)
+  // and the obs log is once-guarded.
+  const Mode resolved = resolve_mode(std::getenv("MDL_GEMM"));
+  g_mode.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+void set_mode(Mode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+const char* kernel_name() { return mode_name(mode()); }
 
 void tiled_matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::int64_t m = a.shape(0);
@@ -276,6 +344,91 @@ void tiled_matvec_acc(const Tensor& a, const Tensor& x, Tensor& out) {
   });
 }
 
+namespace {
+
+/// Shards [0, m) row panels of `body(row0, row1)` across the shared pool
+/// when `flops` clears the parallel threshold; otherwise runs inline. Used
+/// by the SIMD and int8 paths — rows are independent in every kernel here,
+/// so sharding never touches the arithmetic.
+template <typename Body>
+void shard_rows(std::int64_t m, std::int64_t flops, const Body& body) {
+  const std::int64_t panels = (m + kPanelRows - 1) / kPanelRows;
+  ThreadPool* pool =
+      flops >= kParallelFlopThreshold && panels > 1 ? shared_pool() : nullptr;
+  if (pool == nullptr) {
+    body(0, m);
+    return;
+  }
+  parallel_for(pool, static_cast<std::size_t>(panels), [&](std::size_t p) {
+    const std::int64_t row0 = static_cast<std::int64_t>(p) * kPanelRows;
+    body(row0, std::min(m, row0 + kPanelRows));
+  });
+}
+
+}  // namespace
+
+void simd_matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::int64_t m = a.shape(0);
+  const std::int64_t k = a.shape(1);
+  const std::int64_t n = b.shape(1);
+  MDL_CHECK(b.shape(0) == k, "matmul_acc inner dimension mismatch");
+  check_matmul_shapes(a, b, out, m, k, n, "matmul_acc");
+  MDL_OBS_COUNTER_ADD("gemm.simd_calls", 1);
+  // No small-shape scalar fallback: the SIMD chain must be the chain for
+  // every shape, or a row's bits would depend on the batch it rides in.
+  shard_rows(m, 2 * m * k * n, [&](std::int64_t r0, std::int64_t r1) {
+    simd::avx2_gemm_rows(a.data(), b.data(), out.data(), r0, r1, k, n);
+  });
+}
+
+void simd_matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::int64_t m = a.shape(0);
+  const std::int64_t k = a.shape(1);
+  const std::int64_t n = b.shape(0);
+  MDL_CHECK(b.shape(1) == k, "matmul_nt inner dimension mismatch");
+  check_matmul_shapes(a, b, out, m, k, n, "matmul_nt");
+  MDL_OBS_COUNTER_ADD("gemm.simd_calls", 1);
+  shard_rows(m, 2 * m * k * n, [&](std::int64_t r0, std::int64_t r1) {
+    simd::avx2_gemm_nt_rows(a.data(), b.data(), out.data(), r0, r1, k, n);
+  });
+}
+
+/// Max k for the int8 kernels: 255*127*k must stay below INT32_MAX so the
+/// exact int32 accumulator cannot overflow.
+static constexpr std::int64_t kInt8MaxK = 66051;
+
+void int8_gemm_nt(const std::uint8_t* a, const std::int8_t* b,
+                  std::int32_t* out, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const std::int32_t* za,
+                  const std::int32_t* b_rowsum) {
+  MDL_CHECK(k >= 0 && k <= kInt8MaxK,
+            "int8_gemm_nt k=" << k << " exceeds the int32-exact bound "
+                              << kInt8MaxK);
+  MDL_CHECK(za == nullptr || b_rowsum != nullptr,
+            "int8_gemm_nt needs b_rowsum when zero points are supplied");
+  const bool use_simd = mode() == Mode::kSimd;
+  shard_rows(m, 2 * m * k * n, [&](std::int64_t r0, std::int64_t r1) {
+    if (use_simd) {
+      simd::avx2_int8_gemm_nt_rows(a, b, out, r0, r1, k, n, za, b_rowsum);
+      return;
+    }
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const std::uint8_t* arow = a + i * k;
+      std::int32_t* crow = out + i * n;
+      const std::int32_t zai = za != nullptr ? za[i] : 0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const std::int8_t* brow = b + j * k;
+        std::int32_t acc = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          acc += static_cast<std::int32_t>(arow[kk]) *
+                 static_cast<std::int32_t>(brow[kk]);
+        if (za != nullptr) acc -= zai * b_rowsum[j];
+        crow[j] = acc;
+      }
+    }
+  });
+}
+
 namespace reference {
 
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -356,6 +509,28 @@ void matvec_acc(const Tensor& a, const Tensor& x, Tensor& out) {
     float acc = po[i];
     for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * px[kk];
     po[i] = acc;
+  }
+}
+
+void int8_gemm_nt(const std::uint8_t* a, const std::int8_t* b,
+                  std::int32_t* out, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const std::int32_t* za,
+                  const std::int32_t* b_rowsum) {
+  MDL_CHECK(za == nullptr || b_rowsum != nullptr,
+            "int8_gemm_nt needs b_rowsum when zero points are supplied");
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * k;
+    std::int32_t* crow = out + i * n;
+    const std::int32_t zai = za != nullptr ? za[i] : 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = b + j * k;
+      std::int32_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(arow[kk]) *
+               static_cast<std::int32_t>(brow[kk]);
+      if (za != nullptr) acc -= zai * b_rowsum[j];
+      crow[j] = acc;
+    }
   }
 }
 

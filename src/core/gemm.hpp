@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/tensor.hpp"
 
@@ -48,12 +49,41 @@ inline constexpr std::int64_t kBlockFlopThreshold = 1LL << 18;
 /// pool. Below it, even the blocked path runs on the calling thread.
 inline constexpr std::int64_t kParallelFlopThreshold = 1LL << 21;
 
-/// Kernel selector, settable at runtime for A/B benchmarking and debugging:
-/// MDL_GEMM=naive routes the public entry points through the reference
-/// kernels; MDL_GEMM=tiled (default) uses the blocked/parallel suite.
-enum class Mode { kTiled, kNaive };
+/// Kernel selector. Three suites sit behind the public entry points:
+///
+///   kNaive   — serial reference loops (the canonical ascending-k scalar
+///              chain; the equivalence/differential oracle).
+///   kBlocked — cache-blocked, register-tiled, thread-parallel scalar
+///              kernels. Bit-identical to kNaive by construction.
+///   kSimd    — AVX2+FMA micro-kernels for matmul / matmul_nt /
+///              matmul_nt_acc (other ops fall back to kBlocked). Float
+///              results are ULP-bounded against the scalar chain, never
+///              bit-identical; int8 results are exact.
+///
+/// Selection: MDL_GEMM=naive|blocked|simd overrides everything ("tiled" is
+/// accepted as a legacy alias for blocked; any other value is a clean
+/// mdl::Error at first use). Without the override, a one-shot CPUID probe
+/// (core/cpu_features.hpp) picks kSimd when the build and CPU support
+/// AVX2+FMA, else kBlocked. The resolved kernel is logged once through
+/// mdl::obs (gemm.kernel.<name> counter + a flight-recorder instant) and
+/// exposed via kernel_name() for bench JSONL provenance.
+enum class Mode { kNaive, kBlocked, kSimd };
 Mode mode();
 void set_mode(Mode m);
+
+/// Parses an MDL_GEMM value; throws mdl::Error on anything but
+/// naive / blocked / tiled (alias) / simd. kSimd additionally requires
+/// cpu::simd_gemm_supported() — requesting it on an unsupported
+/// machine/build is an error, not a silent fallback.
+Mode parse_mode(const std::string& value);
+
+/// The MDL_GEMM= / probe resolution step, exposed for tests: env override
+/// wins (possibly throwing); otherwise the CPUID probe decides.
+Mode resolve_mode(const char* env_value);
+
+/// "naive" / "blocked" / "simd" for the currently selected mode.
+const char* kernel_name();
+const char* mode_name(Mode m);
 
 // -- Blocked kernels ---------------------------------------------------------
 // Direct entry points (no threshold dispatch) used by the public tensor ops
@@ -76,6 +106,36 @@ void tiled_matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
 /// out += A @ x for [m,k] x [k]; row-sharded above the parallel threshold.
 void tiled_matvec_acc(const Tensor& a, const Tensor& x, Tensor& out);
 
+// -- SIMD kernels ------------------------------------------------------------
+// AVX2+FMA entry points (require cpu::simd_gemm_supported()). Unlike the
+// blocked suite there is no small-shape scalar fallback: every shape runs
+// the same per-element chain, so a row's bits cannot depend on the batch
+// it rides in (the mdl::serve batching invariant). Row panels shard across
+// the shared pool above the parallel flop threshold.
+
+/// out += A @ B, AVX2 broadcast-FMA kernel (ascending-k fma chain).
+void simd_matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += A @ B^T for [m,k] x [n,k], AVX2 8-lane dot kernel (no packing).
+void simd_matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+// -- Quantized (int8) GEMM ---------------------------------------------------
+// Row-major u8 × s8 -> int32 with per-row zero-point correction:
+//
+//   out[i,j] = sum_k a[i,k] * b[j,k]  -  za[i] * b_rowsum[j]
+//
+// a is [m,k] unsigned (asymmetric activations, zero point za[i] per row;
+// za may be null for symmetric input), b is [n,k] signed (symmetric
+// weights), b_rowsum[j] = sum_k b[j,k] (required when za is set; callers
+// precompute it once per weight). All arithmetic is exact int32 — the AVX2
+// path (mode kSimd) must equal the scalar reference bit for bit, and the
+// differential harness enforces exact equality, not a tolerance. k is
+// limited to 66051 (255*127*k must fit int32); checked.
+void int8_gemm_nt(const std::uint8_t* a, const std::int8_t* b,
+                  std::int32_t* out, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const std::int32_t* za,
+                  const std::int32_t* b_rowsum);
+
 // -- Reference kernels -------------------------------------------------------
 // The retained naive loops that define the canonical accumulation order.
 // Serial, unblocked, branch-free inner loops. The equivalence suite compares
@@ -87,6 +147,13 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
 void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& out);
 void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
 void matvec_acc(const Tensor& a, const Tensor& x, Tensor& out);
+
+/// Scalar twin of int8_gemm_nt — the exact-equality oracle for the AVX2
+/// quantized kernel.
+void int8_gemm_nt(const std::uint8_t* a, const std::int8_t* b,
+                  std::int32_t* out, std::int64_t m, std::int64_t k,
+                  std::int64_t n, const std::int32_t* za,
+                  const std::int32_t* b_rowsum);
 
 }  // namespace reference
 

@@ -433,10 +433,11 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
   MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(0),
             "matmul_acc shape mismatch " << a.shape_str() << " x "
                                          << b.shape_str());
-  if (gemm::mode() == gemm::Mode::kNaive)
-    gemm::reference::matmul_acc(a, b, out);
-  else
-    gemm::tiled_matmul_acc(a, b, out);
+  switch (gemm::mode()) {
+    case gemm::Mode::kNaive: gemm::reference::matmul_acc(a, b, out); break;
+    case gemm::Mode::kSimd: gemm::simd_matmul_acc(a, b, out); break;
+    case gemm::Mode::kBlocked: gemm::tiled_matmul_acc(a, b, out); break;
+  }
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -444,6 +445,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
             "matmul_tn shape mismatch " << a.shape_str() << " x "
                                         << b.shape_str());
   Tensor out({a.shape(1), b.shape(1)});
+  // No dedicated SIMD kernel for _tn (a training-only path); kSimd falls
+  // back to the blocked scalar suite.
   if (gemm::mode() == gemm::Mode::kNaive)
     gemm::reference::matmul_tn_acc(a, b, out);
   else
@@ -464,10 +467,11 @@ void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out) {
   MDL_CHECK(a.ndim() == 2 && b.ndim() == 2 && a.shape(1) == b.shape(1),
             "matmul_nt_acc shape mismatch " << a.shape_str() << " x "
                                             << b.shape_str());
-  if (gemm::mode() == gemm::Mode::kNaive)
-    gemm::reference::matmul_nt_acc(a, b, out);
-  else
-    gemm::tiled_matmul_nt_acc(a, b, out);
+  switch (gemm::mode()) {
+    case gemm::Mode::kNaive: gemm::reference::matmul_nt_acc(a, b, out); break;
+    case gemm::Mode::kSimd: gemm::simd_matmul_nt_acc(a, b, out); break;
+    case gemm::Mode::kBlocked: gemm::tiled_matmul_nt_acc(a, b, out); break;
+  }
 }
 
 Tensor matvec(const Tensor& a, const Tensor& x) {
@@ -475,6 +479,9 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
             "matvec shape mismatch " << a.shape_str() << " x "
                                      << x.shape_str());
   Tensor out({a.shape(0)});
+  // matvec has one scalar chain per output row already; kSimd uses the
+  // blocked path (vectorizing the dot would change the serve/replay chain
+  // for no measured win at these widths).
   if (gemm::mode() == gemm::Mode::kNaive)
     gemm::reference::matvec_acc(a, x, out);
   else

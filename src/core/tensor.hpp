@@ -165,9 +165,11 @@ std::ostream& operator<<(std::ostream& os, const Tensor& t);
 //
 // All dense products share one accumulation policy (see gemm.hpp and
 // DESIGN.md): float32, ascending-k, one multiply-add per term. They are
-// backed by the blocked, thread-parallel mdl::gemm kernels and are
-// bit-identical at every thread count (MDL_THREADS) and in MDL_GEMM=naive
-// mode. Dense kernels carry no zero-skip branch; pruned weights should use
+// backed by the mdl::gemm kernel suites (MDL_GEMM=naive|blocked|simd; the
+// default probes the CPU). naive and blocked are bit-identical to each
+// other at every thread count (MDL_THREADS); the AVX2 simd suite is
+// deterministic and batch-invariant but ULP-shifted (fma). Dense kernels
+// carry no zero-skip branch; pruned weights should use
 // compress::pruned_matmul or a CsrMatrix.
 
 /// C = A @ B for 2-D tensors ([m,k] x [k,n] -> [m,n]).

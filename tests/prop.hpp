@@ -19,9 +19,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <initializer_list>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -83,6 +86,40 @@ inline Tensor gen_tensor(Rng& rng, std::vector<std::int64_t> shape,
   for (std::int64_t i = 0; i < t.size(); ++i)
     t[i] = static_cast<float>(rng.uniform(-scale, scale));
   return t;
+}
+
+// -- Float comparison for reassociated kernels -------------------------------
+// The SIMD GEMM suite contracts multiply-adds (fma) and, for the nt kernel,
+// reassociates the k sum across 8 lanes. Its results are therefore compared
+// against the canonical scalar chain with a ULP distance bound plus an
+// absolute floor scaled by the magnitude of the summed terms (which covers
+// catastrophic cancellation, where ULP distance of the tiny result explodes
+// even though both kernels are within rounding of the true value).
+
+/// Distance in representable-float steps between a and b. Total order via
+/// the sign-magnitude -> two's-complement trick; +0 and -0 are 0 apart.
+/// NaN on either side is the maximum distance (never "close").
+inline std::int64_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::int64_t>::max();
+  std::int32_t ia = 0;
+  std::int32_t ib = 0;
+  std::memcpy(&ia, &a, sizeof(float));
+  std::memcpy(&ib, &b, sizeof(float));
+  if (ia < 0) ia = std::numeric_limits<std::int32_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int32_t>::min() - ib;
+  return std::abs(static_cast<std::int64_t>(ia) - static_cast<std::int64_t>(ib));
+}
+
+/// True when `got` is within `max_ulp` steps of `want`, or within
+/// `abs_floor` absolutely (for cancellation-dominated elements whose
+/// relative error is meaningless).
+inline bool float_close(float got, float want, std::int64_t max_ulp,
+                        double abs_floor) {
+  if (std::isnan(got) || std::isnan(want)) return false;
+  if (ulp_distance(got, want) <= max_ulp) return true;
+  return std::abs(static_cast<double>(got) - static_cast<double>(want)) <=
+         abs_floor;
 }
 
 }  // namespace mdl::prop

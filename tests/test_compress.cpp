@@ -10,6 +10,7 @@
 #include "compress/prune.hpp"
 #include "compress/quantize.hpp"
 #include "compress/sparse_matrix.hpp"
+#include "core/gemm.hpp"
 #include "data/synthetic.hpp"
 #include "federated/common.hpp"
 #include "nn/activations.hpp"
@@ -17,6 +18,17 @@
 
 namespace mdl::compress {
 namespace {
+
+// The sparse kernels are scalar and claim bit-identity against the dense
+// canonical ascending-k chain. Pin the dense side to the scalar blocked
+// suite for those comparisons — under the AVX2 default (MDL_GEMM unset on
+// an AVX2 machine) dense floats follow the fma chain instead, which is
+// ULP-close but not bit-identical.
+struct ScalarChainGuard {
+  gemm::Mode saved = gemm::mode();
+  ScalarChainGuard() { gemm::set_mode(gemm::Mode::kBlocked); }
+  ~ScalarChainGuard() { gemm::set_mode(saved); }
+};
 
 // ------------------------------------------------------------------- CSR
 
@@ -128,6 +140,7 @@ TEST(SparseEntry, PrunedMatmulMatchesDenseBitForBit) {
   // The zero-skip branch moved out of the dense kernels into
   // pruned_matmul; on pruned weights its output is still identical to the
   // (now branch-free) dense kernel.
+  ScalarChainGuard chain;
   Rng rng(40);
   Tensor a = Tensor::randn({13, 21}, rng);
   prune_by_magnitude(a, 0.6);
@@ -160,6 +173,7 @@ TEST(SparseEntry, WorthSparsifyingThreshold) {
 }
 
 TEST(SparseEntry, PrunedLinearMatchesDenseForward) {
+  ScalarChainGuard chain;
   Rng rng(43);
   nn::Linear dense(14, 6, rng);
   prune_by_magnitude(dense.weight().value, 0.5);
@@ -176,6 +190,7 @@ TEST(SparseEntry, PrunedLinearMatchesDenseForward) {
 }
 
 TEST(SparseEntry, SparseDeployMlpMatchesSource) {
+  ScalarChainGuard chain;
   Rng rng(44);
   auto model = federated::mlp_factory(8, 10, 3)(rng);
   prune_model(*model, 0.6);

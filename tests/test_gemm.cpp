@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/cpu_features.hpp"
+#include "core/gemm_simd.hpp"
 #include "core/random.hpp"
 #include "core/tensor.hpp"
 #include "core/threadpool.hpp"
+#include "obs/metrics.hpp"
 
 namespace mdl {
 namespace {
@@ -151,9 +155,10 @@ TEST(Gemm, ThreadCountsAgreeWithEachOther) {
 }
 
 TEST(Gemm, PublicKernelsMatchReferenceModes) {
-  // matmul/matmul_tn/matmul_nt/matvec produce the same bits in kTiled and
+  // matmul/matmul_tn/matmul_nt/matvec produce the same bits in kBlocked and
   // kNaive mode (the MDL_GEMM=naive benchmark baseline is not a different
-  // answer, just a slower one).
+  // answer, just a slower one). kSimd is deliberately absent here: its float
+  // bits are ULP-bounded, not identical — tests/test_gemm_diff.cpp owns that.
   PoolGuard guard;
   set_shared_pool_threads(8);
   Rng rng(48);
@@ -164,7 +169,7 @@ TEST(Gemm, PublicKernelsMatchReferenceModes) {
   const Tensor x = Tensor::randn({300}, rng);
 
   const gemm::Mode saved = gemm::mode();
-  gemm::set_mode(gemm::Mode::kTiled);
+  gemm::set_mode(gemm::Mode::kBlocked);
   const Tensor t1 = matmul(a, b);
   const Tensor t2 = matmul_tn(at, b);
   const Tensor t3 = matmul_nt(a, bt);
@@ -199,6 +204,101 @@ TEST(Gemm, ShapeMismatchThrows) {
       gemm::tiled_matmul_acc(Tensor({2, 3}), Tensor({4, 2}), out), Error);
   EXPECT_THROW(
       gemm::tiled_matmul_acc(Tensor({2, 4}), Tensor({4, 3}), out), Error);
+}
+
+// ----------------------------------------------------------- dispatch
+
+struct ModeGuard {
+  gemm::Mode saved = gemm::mode();
+  ~ModeGuard() { gemm::set_mode(saved); }
+};
+
+TEST(GemmDispatch, ParseModeAcceptsKnownValuesAndAliases) {
+  EXPECT_EQ(gemm::parse_mode("naive"), gemm::Mode::kNaive);
+  EXPECT_EQ(gemm::parse_mode("blocked"), gemm::Mode::kBlocked);
+  // "tiled" is the legacy alias from before the SIMD suite existed.
+  EXPECT_EQ(gemm::parse_mode("tiled"), gemm::Mode::kBlocked);
+  if (cpu::simd_gemm_supported()) {
+    EXPECT_EQ(gemm::parse_mode("simd"), gemm::Mode::kSimd);
+  } else {
+    // Requesting simd without hardware/build support is an error, not a
+    // silent fallback — a perf experiment must not quietly measure the
+    // wrong kernel.
+    EXPECT_THROW(gemm::parse_mode("simd"), Error);
+  }
+}
+
+TEST(GemmDispatch, ParseModeRejectsUnknownValuesWithCleanError) {
+  for (const char* bad : {"avx512", "fast", "SIMD", "", "blocked "}) {
+    EXPECT_THROW(gemm::parse_mode(bad), Error) << "value `" << bad << "`";
+  }
+  try {
+    gemm::parse_mode("avx512");
+    FAIL() << "expected mdl::Error";
+  } catch (const Error& e) {
+    // The message names the bad value and the accepted set.
+    EXPECT_NE(std::string(e.what()).find("avx512"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("naive"), std::string::npos);
+  }
+}
+
+TEST(GemmDispatch, EnvOverrideWinsOverProbe) {
+  ModeGuard guard;
+  // With an override, resolve_mode must return it regardless of what the
+  // CPUID probe would pick.
+  EXPECT_EQ(gemm::resolve_mode("naive"), gemm::Mode::kNaive);
+  EXPECT_EQ(gemm::resolve_mode("blocked"), gemm::Mode::kBlocked);
+  // Empty / absent falls through to the probe.
+  const gemm::Mode probed = gemm::resolve_mode(nullptr);
+  EXPECT_EQ(probed, cpu::simd_gemm_supported() ? gemm::Mode::kSimd
+                                               : gemm::Mode::kBlocked);
+  EXPECT_EQ(gemm::resolve_mode(""), probed);
+}
+
+TEST(GemmDispatch, ProbeIsConsistentWithFeatureFlags) {
+  const cpu::Features& f = cpu::features();
+  EXPECT_EQ(cpu::simd_gemm_supported(),
+            f.avx2 && f.fma && gemm::simd::compiled());
+  EXPECT_STREQ(cpu::isa_name(),
+               cpu::simd_gemm_supported() ? "avx2" : "scalar");
+}
+
+TEST(GemmDispatch, SelectionIsLoggedExactlyOnce) {
+#ifdef MDL_OBS_DISABLED
+  GTEST_SKIP() << "MDL_OBS_COUNTER_ADD compiles to a no-op in this build";
+#endif
+  ModeGuard guard;
+  // Force at least one resolution, then several more: the obs counter for
+  // the selected kernel must not move again (once-per-process logging).
+  // The first log in this process belongs to the env/probe resolution
+  // (ModeGuard's mode() call forced it), so that's the counter to check —
+  // NOT resolve_mode(nullptr), which ignores an MDL_GEMM set for the run.
+  const gemm::Mode m = gemm::mode();
+  const std::string counter =
+      std::string("gemm.kernel.") + gemm::mode_name(m);
+  const auto counter_value = [&counter]() -> std::uint64_t {
+    for (const auto& c : obs::MetricsRegistry::global().snapshot().counters)
+      if (c.name == counter) return c.value;
+    return 0;
+  };
+  const std::uint64_t first = counter_value();
+  EXPECT_EQ(first, 1U);
+  gemm::resolve_mode(nullptr);
+  gemm::resolve_mode("naive");
+  gemm::resolve_mode("blocked");
+  EXPECT_EQ(counter_value(), first);
+}
+
+TEST(GemmDispatch, KernelNameTracksMode) {
+  ModeGuard guard;
+  gemm::set_mode(gemm::Mode::kNaive);
+  EXPECT_STREQ(gemm::kernel_name(), "naive");
+  gemm::set_mode(gemm::Mode::kBlocked);
+  EXPECT_STREQ(gemm::kernel_name(), "blocked");
+  if (cpu::simd_gemm_supported()) {
+    gemm::set_mode(gemm::Mode::kSimd);
+    EXPECT_STREQ(gemm::kernel_name(), "simd");
+  }
 }
 
 }  // namespace

@@ -119,8 +119,13 @@ void run_golden_check(const std::string& bench_path,
   const std::string out_path =
       ::testing::TempDir() + "mdl_golden_" + tag + ".jsonl";
   std::remove(out_path.c_str());
-  const std::string cmd = std::string("MDL_QUICK=1 \"") + bench_path +
-                          "\" --json \"" + out_path + "\" > /dev/null 2>&1";
+  // Goldens are pinned to the scalar blocked suite: the canonical
+  // ascending-k chain is stable across machines, while the AVX2 default
+  // (fma contraction) is only ULP-close and would drift the recorded
+  // floats on CPUs where the probe picks kSimd.
+  const std::string cmd = std::string("MDL_QUICK=1 MDL_GEMM=blocked \"") +
+                          bench_path + "\" --json \"" + out_path +
+                          "\" > /dev/null 2>&1";
   ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
 
   const std::vector<obs::Json> got = load_comparable_records(out_path);

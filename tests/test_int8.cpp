@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "core/cpu_features.hpp"
+#include "core/gemm.hpp"
+#include "data/keystroke.hpp"
 #include "data/synthetic.hpp"
 #include "federated/common.hpp"
 #include "nn/activations.hpp"
@@ -45,7 +50,8 @@ TEST(Int8Linear, StorageIsRoughlyQuarter) {
   Int8Linear q(lin);
   const std::uint64_t dense = 64 * 64 * 4 + 64 * 4;
   EXPECT_LT(q.storage_bytes(), dense / 3);
-  EXPECT_EQ(q.storage_bytes(), 64U * 64U + 64U * 4U + 64U * 4U);
+  // int8 weights + f32 row scales + i32 weight row sums + f32 bias.
+  EXPECT_EQ(q.storage_bytes(), 64U * 64U + 64U * 4U + 64U * 4U + 64U * 4U);
 }
 
 TEST(Int8Linear, BackwardThrows) {
@@ -137,6 +143,147 @@ TEST(Int8Quantize, RejectsUnknownLayers) {
   nn::Sequential model;
   model.emplace<nn::GRU>(2, 3, rng);
   EXPECT_THROW(int8_quantize_mlp(model), Error);
+}
+
+// ------------------------------------------- activation quantization
+
+TEST(ActQuant, RangeAlwaysIncludesZeroAndZeroIsExact) {
+  // All-positive row: range is [0, hi], zero point 0.
+  const float pos[4] = {0.5F, 2.0F, 1.0F, 0.25F};
+  const ActQuant aq_pos = choose_act_quant(pos, 4);
+  EXPECT_EQ(aq_pos.zero_point, 0);
+  EXPECT_NEAR(aq_pos.scale, 2.0F / 255.0F, 1e-7);
+
+  // All-negative row: range is [lo, 0], zero point 255.
+  const float neg[3] = {-4.0F, -1.0F, -0.5F};
+  const ActQuant aq_neg = choose_act_quant(neg, 3);
+  EXPECT_EQ(aq_neg.zero_point, 255);
+
+  // 0.0 quantizes to the zero point and dequantizes to exactly 0 — ReLU
+  // outputs survive quantization with no bias.
+  const float with_zero[3] = {-1.0F, 0.0F, 3.0F};
+  const ActQuant aq = choose_act_quant(with_zero, 3);
+  std::uint8_t q[3];
+  quantize_act_row(with_zero, 3, aq, q);
+  EXPECT_EQ(static_cast<std::int32_t>(q[1]), aq.zero_point);
+  EXPECT_EQ((static_cast<std::int32_t>(q[1]) - aq.zero_point) * aq.scale,
+            0.0F);
+}
+
+TEST(ActQuant, SaturatesAtRangeEndsAndDegenerateRowIsSafe) {
+  // The range ends land on codes 0 and 255 (saturation is exact, not
+  // wrapped).
+  const float row[2] = {-1.0F, 3.0F};
+  const ActQuant aq = choose_act_quant(row, 2);
+  std::uint8_t q[2];
+  quantize_act_row(row, 2, aq, q);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 255);
+
+  // An all-zero row degenerates to scale 1 / zero point 0 and quantizes
+  // to all-zero codes — no division by zero, no NaN.
+  const float zeros[3] = {0.0F, 0.0F, 0.0F};
+  const ActQuant flat = choose_act_quant(zeros, 3);
+  EXPECT_EQ(flat.scale, 1.0F);
+  EXPECT_EQ(flat.zero_point, 0);
+  std::uint8_t qz[3];
+  quantize_act_row(zeros, 3, flat, qz);
+  for (const std::uint8_t v : qz) EXPECT_EQ(v, 0);
+}
+
+TEST(Int8Linear, WeightCodesSaturateAtPlusMinus127) {
+  // Symmetric per-row scale maps the max-|w| entry to exactly +/-127;
+  // nothing can exceed the int8 range.
+  Rng rng(21);
+  nn::Linear lin(32, 8, rng);
+  Int8Linear q(lin);
+  std::int8_t lo = 0;
+  std::int8_t hi = 0;
+  for (const std::int8_t v : q.quantized_weights()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, -127);  // -128 is never produced
+  EXPECT_LE(hi, 127);
+  // Every row's extreme hits the range end (that's what the scale is for).
+  for (std::int64_t r = 0; r < 8; ++r) {
+    std::int32_t row_max = 0;
+    for (std::int64_t c = 0; c < 32; ++c)
+      row_max = std::max<std::int32_t>(
+          row_max, std::abs(q.quantized_weights()[r * 32 + c]));
+    EXPECT_EQ(row_max, 127) << "row " << r;
+  }
+}
+
+TEST(Int8Linear, WeightRowSumsMatchQuantizedWeights) {
+  Rng rng(22);
+  nn::Linear lin(19, 5, rng);
+  Int8Linear q(lin);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    std::int32_t sum = 0;
+    for (std::int64_t c = 0; c < 19; ++c)
+      sum += q.quantized_weights()[r * 19 + c];
+    EXPECT_EQ(q.weight_row_sums()[static_cast<std::size_t>(r)], sum);
+  }
+}
+
+TEST(Int8Linear, InferBitIdenticalAcrossKernelSuites) {
+  // The quantized path accumulates in exact int32, so — unlike the float
+  // kernels — switching between the scalar and AVX2 suites must not move
+  // a single bit of the output.
+  if (!cpu::simd_gemm_supported())
+    GTEST_SKIP() << "no AVX2+FMA on this machine/build";
+  Rng rng(23);
+  nn::Linear lin(33, 7, rng);  // odd k: exercises the SIMD remainder tail
+  const Int8Linear q(lin);
+  const Tensor x = Tensor::randn({9, 33}, rng);
+  const gemm::Mode saved = gemm::mode();
+  gemm::set_mode(gemm::Mode::kBlocked);
+  const Tensor y_scalar = q.infer(x);
+  gemm::set_mode(gemm::Mode::kSimd);
+  const Tensor y_simd = q.infer(x);
+  gemm::set_mode(saved);
+  ASSERT_TRUE(y_scalar.same_shape(y_simd));
+  EXPECT_EQ(std::memcmp(y_scalar.data(), y_simd.data(),
+                        static_cast<std::size_t>(y_scalar.size()) *
+                            sizeof(float)),
+            0);
+}
+
+TEST(Int8Linear, KeystrokeLogitsWithinActQuantBound) {
+  // End-to-end accuracy pin on realistic inputs: session features from the
+  // keystroke simulator through a dense head. Against the dequantized-
+  // weight float forward, the only remaining error source is activation
+  // rounding, bounded per output row by
+  //     |yq[r] - y_deq[r]| <= (x_scale/2) * sum_c |W_deq[r,c]|
+  // (each activation is off by at most half a quantization step), plus a
+  // 10% slack + 1e-5 floor for the float dequant arithmetic itself.
+  data::KeystrokeSimulator sim;
+  Rng rng(24);
+  const auto mv = sim.mood_dataset(4, 6, rng);
+  const data::TabularDataset ds = data::to_session_features(mv);
+  const std::int64_t d = ds.dim();
+  nn::Linear lin(d, 2, rng);
+  const Int8Linear q(lin);
+  const Tensor w_deq = q.dequantized_weight();
+  const Tensor yq = q.infer(ds.features);
+
+  for (std::int64_t n = 0; n < ds.size(); ++n) {
+    const float* x = ds.features.data() + n * d;
+    const ActQuant aq = choose_act_quant(x, d);
+    for (std::int64_t r = 0; r < 2; ++r) {
+      double want = 0.0;
+      double wabs = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        want += static_cast<double>(x[c]) * w_deq[r * d + c];
+        wabs += std::abs(w_deq[r * d + c]);
+      }
+      want += lin.bias().value[r];
+      const double bound = 1.1 * (aq.scale / 2.0) * wabs + 1e-5;
+      EXPECT_NEAR(yq.at(n, r), want, bound)
+          << "session " << n << " logit " << r;
+    }
+  }
 }
 
 }  // namespace
