@@ -26,10 +26,15 @@
 
 #include "bench_util.hpp"
 #include "compress/int8.hpp"
+#include "compress/prune.hpp"
 #include "core/threadpool.hpp"
+#include "mobile/cost_model.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/split_client.hpp"
+#include "split/degradation.hpp"
 
 namespace {
 
@@ -199,6 +204,137 @@ void run_offered_load(const split::SplitInference& model,
                  .add("wall_s", wall_s));
 }
 
+std::uint64_t counter_value(const char* name) {
+  return mdl::obs::MetricsRegistry::global().counter(name).value();
+}
+
+// "Before" cell: raw submits against a chaotic server, no retries, no
+// fallback — what the split path looked like without the fault-tolerance
+// layer. Availability is whatever fraction the cloud happened to answer.
+void run_chaos_direct(const split::SplitInference& model,
+                      const std::vector<serve::InferenceRequest>& reqs,
+                      double fail_prob) {
+  serve::ServeConfig cfg = base_config(8);
+  cfg.fault.seed = 404;
+  cfg.fault.batch_fail_prob = fail_prob;
+  serve::InferenceServer server(nullptr, &model, cfg);
+
+  server.pause();
+  std::vector<std::future<serve::InferenceResult>> futures;
+  futures.reserve(reqs.size());
+  for (const auto& r : reqs) futures.push_back(server.submit(r));
+  const auto start = std::chrono::steady_clock::now();
+  server.resume();
+  std::int64_t ok = 0, error = 0, other = 0;
+  for (auto& f : futures) {
+    switch (f.get().status) {
+      case serve::RequestStatus::kOk: ++ok; break;
+      case serve::RequestStatus::kError: ++error; break;
+      default: ++other; break;
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto n = static_cast<double>(reqs.size());
+  const double availability = static_cast<double>(ok) / n;
+  std::cout << "  fail " << std::setw(4) << std::fixed << std::setprecision(0)
+            << 100.0 * fail_prob << "%  no fallback:  answered " << std::setw(5)
+            << std::setprecision(1) << 100.0 * availability << "%  ("
+            << ok << " ok, " << error << " error, " << other << " other)\n"
+            << std::defaultfloat;
+  bench::log(bench::record("chaos_direct")
+                 .add("fail_prob", fail_prob)
+                 .add("requests", static_cast<std::int64_t>(reqs.size()))
+                 .add("ok", ok)
+                 .add("error", error)
+                 .add("other", other)
+                 .add("availability", availability)
+                 .add("goodput_rps", static_cast<double>(ok) / wall_s)
+                 .add("wall_s", wall_s));
+}
+
+// "After" cell: the same chaotic server behind a SplitClient with retries
+// and the on-device degradation ladder. Every request is answered; the
+// JSONL records where the answers came from and that the client counters
+// reconcile exactly (requests == cloud_ok + fallbacks).
+void run_chaos_client(const split::SplitInference& model,
+                      const split::DegradationLadder& ladder,
+                      std::int64_t n, double fail_prob) {
+  serve::ServeConfig cfg = base_config(8);
+  cfg.fault.seed = 404;
+  cfg.fault.batch_fail_prob = fail_prob;
+  serve::InferenceServer server(nullptr, &model, cfg);
+
+  mobile::InferencePlanner planner(mobile::DeviceProfile::mobile_soc(),
+                                   mobile::DeviceProfile::cloud_server(),
+                                   mobile::NetworkModel::wifi());
+  serve::SplitClientConfig ccfg;
+  ccfg.timeout_us = 50'000;
+  ccfg.max_attempts = 3;
+  ccfg.backoff_base_us = 100;
+  ccfg.seed = 404;
+  serve::SplitClient client(&server, &model, &ladder, std::move(planner),
+                            ccfg);
+
+  const std::uint64_t req0 = counter_value("client.requests");
+  const std::uint64_t ok0 = counter_value("client.cloud_ok");
+  const std::uint64_t fb0 = counter_value("client.fallbacks");
+  const std::uint64_t retry0 = counter_value("client.retries");
+
+  Rng rng(77);
+  std::int64_t cloud = 0, fallback = 0;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(n));
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor rep({1, kRepDim});
+    for (std::int64_t d = 0; d < kRepDim; ++d)
+      rep[d] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const serve::ClientOutcome out =
+        client.infer_representation(rep, rng.next_u64());
+    (out.served_by == serve::ServedBy::kCloud ? cloud : fallback) += 1;
+    latencies.push_back(out.latency_us);
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::int64_t requests =
+      static_cast<std::int64_t>(counter_value("client.requests") - req0);
+  const std::int64_t cloud_ok =
+      static_cast<std::int64_t>(counter_value("client.cloud_ok") - ok0);
+  const std::int64_t fallbacks =
+      static_cast<std::int64_t>(counter_value("client.fallbacks") - fb0);
+  const std::int64_t retries =
+      static_cast<std::int64_t>(counter_value("client.retries") - retry0);
+  const bool reconciled =
+      requests == n && cloud_ok == cloud && fallbacks == fallback &&
+      cloud + fallback == n;
+  const Percentiles lat = percentiles(latencies);
+  std::cout << "  fail " << std::setw(4) << std::fixed << std::setprecision(0)
+            << 100.0 * fail_prob << "%  with ladder:  answered 100.0%  ("
+            << cloud << " cloud, " << fallback << " fallback, " << retries
+            << " retries)  p99 " << lat.p99 << "us  counters "
+            << (reconciled ? "reconciled" : "MISMATCH") << "\n"
+            << std::defaultfloat;
+  bench::log(bench::record("chaos_client")
+                 .add("fail_prob", fail_prob)
+                 .add("requests", n)
+                 .add("served_cloud", cloud)
+                 .add("served_fallback", fallback)
+                 .add("retries", retries)
+                 .add("availability", 1.0)
+                 .add("counters_reconciled", reconciled ? 1 : 0)
+                 .add("counter_requests", requests)
+                 .add("counter_cloud_ok", cloud_ok)
+                 .add("counter_fallbacks", fallbacks)
+                 .add("goodput_rps", static_cast<double>(n) / wall_s)
+                 .add("p50_us", lat.p50)
+                 .add("p99_us", lat.p99)
+                 .add("wall_s", wall_s));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +351,11 @@ int main(int argc, char** argv) {
   // integer GEMM).
   auto cloud = make_cloud(rng);
   auto cloud_int8 = compress::int8_quantize_mlp(*cloud);
+  // Degradation ladder for the chaos phase: compressed stand-ins for the
+  // same cloud half, built before the float half moves into the model.
+  split::DegradationLadder ladder;
+  ladder.add_stage("device-pruned", compress::sparse_deploy_mlp(*cloud));
+  ladder.add_stage("device-int8", compress::int8_quantize_mlp(*cloud));
   const split::SplitInference model(make_local(rng), std::move(cloud));
   const split::SplitInference model_int8(make_local(rng),
                                          std::move(cloud_int8));
@@ -250,6 +391,24 @@ int main(int argc, char** argv) {
             << " requests per load, 20ms deadline):\n";
   for (const double load : {200.0, 500.0, 1000.0, 2000.0, 4000.0})
     run_offered_load(model, sweep_reqs, load);
+
+  // Chaos sweep: injected batch-failure rates {0, 1, 10}% (seeded, so the
+  // fault schedule is reproducible), before/after the fault-tolerance
+  // layer. "Before" is raw submits — availability tracks 1 - fail rate.
+  // "After" is the SplitClient with retries + the degradation ladder —
+  // availability is 1.0 by construction, and the JSONL shows where the
+  // answers came from and that the client counters reconcile exactly.
+  const std::int64_t chaos_n = bench::scaled(256, 64);
+  std::vector<serve::InferenceRequest> chaos_reqs(
+      reqs.begin(), reqs.begin() + std::min<std::int64_t>(chaos_n, burst));
+  while (static_cast<std::int64_t>(chaos_reqs.size()) < chaos_n)
+    chaos_reqs.push_back(make_request(rng));
+  std::cout << "\nchaos sweep (" << chaos_n
+            << " requests per cell, seeded fault injection):\n";
+  for (const double fail : {0.0, 0.01, 0.10}) {
+    run_chaos_direct(model, chaos_reqs, fail);
+    run_chaos_client(model, ladder, chaos_n, fail);
+  }
 
   bench::log_metrics_snapshot();
   std::cout << "\ndone.\n";

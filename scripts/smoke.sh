@@ -60,6 +60,13 @@ for bench in "${BENCHES[@]}"; do
   }
 done
 
+# Chaos tier: the fault-tolerance suite (admission control, circuit
+# breaker, seeded fault injection, SplitClient degradation ladder) with a
+# fixed seed so a failure here replays exactly: rerun the same binary with
+# MDL_PROP_SEED=20260808 and the identical fault schedule fires again.
+echo "=== chaos tests (fixed seed, MDL_PROP_SEED=20260808) ==="
+MDL_PROP_SEED=20260808 "$BUILD_DIR/tests/mdl_chaos_tests"
+
 # Flight recorder: a serve run with MDL_TRACE_OUT must leave a Chrome-trace
 # JSON that parses and passes the required-key schema check, and the
 # summarizer must be able to read it back.
@@ -135,12 +142,16 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
     -DMDL_SANITIZE=thread \
     -DMDL_BUILD_BENCH=OFF \
     -DMDL_BUILD_EXAMPLES=OFF
-  cmake --build "$TSAN_DIR" -j "$(nproc)" --target mdl_tests
+  cmake --build "$TSAN_DIR" -j "$(nproc)" --target mdl_tests mdl_chaos_tests
   for threads in 2 8; do
     TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
       "$TSAN_DIR/tests/mdl_tests" \
       --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*'
   done
+  # The chaos liveness property under TSan: producers x injected faults x
+  # breaker transitions x shutdown, fixed seed for replayability.
+  TSAN_OPTIONS=halt_on_error=1 MDL_PROP_SEED=20260808 \
+    "$TSAN_DIR/tests/mdl_chaos_tests" --gtest_filter='Chaos*:Circuit*'
 fi
 
 echo "smoke OK: JSONL records in $OUT_DIR"

@@ -93,7 +93,9 @@ PrunedLinear::PrunedLinear(const nn::Linear& linear)
       bias_(linear.has_bias() ? const_cast<nn::Linear&>(linear).bias().value
                               : Tensor({0})) {}
 
-Tensor PrunedLinear::forward(const Tensor& x) {
+Tensor PrunedLinear::forward(const Tensor& x) { return infer(x); }
+
+Tensor PrunedLinear::infer(const Tensor& x) const {
   MDL_CHECK(x.ndim() == 2 && x.shape(1) == in_,
             "PrunedLinear(" << in_ << "->" << out_ << ") got input "
                             << x.shape_str());

@@ -41,6 +41,10 @@ class PrunedLinear : public nn::Module {
   explicit PrunedLinear(const nn::Linear& linear);
 
   Tensor forward(const Tensor& x) override;
+  /// Const inference path — stateless, so it shares forward()'s kernel.
+  /// Lets a pruned deployment form serve concurrent readers (e.g. as a
+  /// split::DegradationLadder stage).
+  Tensor infer(const Tensor& x) const override;
   [[noreturn]] Tensor backward(const Tensor& grad_out) override;
   std::string name() const override;
   std::int64_t flops_per_example() const override;

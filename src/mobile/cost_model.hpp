@@ -85,6 +85,39 @@ struct CostEstimate {
   std::uint64_t bytes_down = 0;
 };
 
+/// Client-side retry policy for the split path (the serve::SplitClient
+/// knobs), modelled analytically: attempts fail i.i.d. with probability f
+/// (stall, shed, executor error), each failed attempt burns the timeout,
+/// retries are separated by exponential backoff, and exhausting the
+/// attempts degrades to the on-device fallback. Jitter is mean-1, so it
+/// drops out of every expectation.
+struct RetryPolicy {
+  std::int64_t max_attempts = 3;  ///< 1 = no retries
+  double timeout_s = 0.02;        ///< latency paid by each failed attempt
+  double backoff_base_s = 5e-4;   ///< wait before retry k: base * mult^k
+  double backoff_mult = 2.0;
+
+  /// Throws mdl::Error if any knob is out of range.
+  void validate() const;
+
+  /// Expected cloud attempts per request, in [1, max_attempts].
+  double expected_attempts(double fail_prob) const;
+  /// P(every attempt fails) = fail_prob^max_attempts — the degraded-mode
+  /// (fallback) fraction of requests.
+  double fallback_prob(double fail_prob) const;
+  /// Total backoff before 0-based retry `k` has happened (sum of the first
+  /// k backoff terms).
+  double backoff_sum_s(std::int64_t k) const;
+};
+
+/// Expected cost of the fault-tolerant split path (retries + degraded
+/// mode), plus how the answers divide between cloud and fallback.
+struct DegradedSplitEstimate {
+  CostEstimate expected;          ///< availability-weighted expectation
+  double fallback_fraction = 0.0; ///< requests answered on-device
+  double expected_attempts = 0.0; ///< mean cloud attempts per request
+};
+
 /// Evaluates the three placements for a given model.
 class InferencePlanner {
  public:
@@ -115,6 +148,18 @@ class InferencePlanner {
   CostEstimate split(std::int64_t local_flops, std::uint64_t rep_bytes,
                      std::int64_t cloud_flops, std::uint64_t output_bytes,
                      const BatchingModel& batching) const;
+
+  /// The fault-tolerant split path end to end: each cloud attempt fails
+  /// i.i.d. with `fail_prob`; failed attempts pay the timeout (plus the
+  /// wasted upload energy/bytes) and back off per `retry`; a request whose
+  /// attempts are exhausted is answered on-device by a fallback stage of
+  /// `fallback_flops` (the degradation ladder). Availability is 1 by
+  /// construction — this prices it.
+  DegradedSplitEstimate split_degraded(
+      std::int64_t local_flops, std::uint64_t rep_bytes,
+      std::int64_t cloud_flops, std::uint64_t output_bytes,
+      const BatchingModel& batching, const RetryPolicy& retry,
+      double fail_prob, std::int64_t fallback_flops) const;
 
   const DeviceProfile& device() const { return device_; }
   const DeviceProfile& server() const { return server_; }

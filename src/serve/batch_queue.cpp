@@ -22,18 +22,29 @@ BatchQueue::BatchQueue(BatchQueueConfig config) : config_(config) {
   MDL_CHECK(config_.max_batch_size > 0, "max_batch_size must be positive");
   MDL_CHECK(config_.max_queue_delay_us >= 0,
             "max_queue_delay_us must be >= 0");
+  MDL_CHECK(config_.max_queue_depth >= 0, "max_queue_depth must be >= 0");
+  MDL_CHECK(config_.kind_quota[0] >= 0 && config_.kind_quota[1] >= 0,
+            "kind quotas must be >= 0");
 }
 
-bool BatchQueue::push(PendingRequest&& p) {
+PushOutcome BatchQueue::push(PendingRequest&& p) {
+  const auto kind = static_cast<std::size_t>(p.request.kind);
   {
     std::lock_guard lock(mu_);
-    if (shutdown_) return false;
+    if (shutdown_) return PushOutcome::kShutdown;
+    if (config_.max_queue_depth > 0 &&
+        static_cast<std::int64_t>(queue_.size()) >= config_.max_queue_depth)
+      return PushOutcome::kOverload;
+    if (config_.kind_quota[kind] > 0 &&
+        kind_depth_[kind] >= config_.kind_quota[kind])
+      return PushOutcome::kKindQuota;
     queue_.push_back(std::move(p));
+    ++kind_depth_[kind];
     MDL_OBS_GAUGE_SET("serve.queue_depth",
                       static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 void BatchQueue::shed_expired_locked(
@@ -48,8 +59,10 @@ void BatchQueue::shed_expired_locked(
     r.status = RequestStatus::kShedDeadline;
     r.request_id = rid;
     r.shed_reason = "deadline";
+    r.status_detail = "deadline";
     r.queue_wait_us = us_between(it->enqueue_time, now);
     r.latency_us = r.queue_wait_us;
+    --kind_depth_[static_cast<std::size_t>(it->request.kind)];
     it->promise.set_value(std::move(r));
     MDL_OBS_COUNTER_ADD("serve.shed_deadline", 1);
     MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
@@ -91,6 +104,7 @@ std::vector<PendingRequest> BatchQueue::pop_batch() {
       std::vector<PendingRequest> batch;
       batch.reserve(prefix);
       for (std::size_t i = 0; i < prefix; ++i) {
+        --kind_depth_[static_cast<std::size_t>(queue_.front().request.kind)];
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -134,6 +148,12 @@ void BatchQueue::resume() {
 std::size_t BatchQueue::depth() const {
   std::lock_guard lock(mu_);
   return queue_.size();
+}
+
+std::size_t BatchQueue::depth_of(RequestKind kind) const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(
+      kind_depth_[static_cast<std::size_t>(kind)]);
 }
 
 }  // namespace mdl::serve

@@ -14,6 +14,13 @@
 // deadline has lapsed is completed as kShedDeadline without executing —
 // the serving analogue of mdl::sim's round-deadline misses.
 //
+// Admission control happens at push time: a bounded queue (max_queue_depth)
+// plus optional per-kind quotas refuse work the server has no hope of
+// serving in time, so overload surfaces to callers as an immediate
+// kRejectedOverload instead of a deadline shed after a pointless wait
+// (backpressure beats buffering). Both bounds apply while paused too —
+// pausing stops batch formation, not the laws of admission.
+//
 // pause()/resume() hold batch formation while producers enqueue, so tests
 // can dictate exact batch compositions (e.g. "exactly 3 requests in one
 // batch") without racing the executor.
@@ -43,15 +50,30 @@ struct PendingRequest {
 struct BatchQueueConfig {
   std::int64_t max_batch_size = 8;
   std::int64_t max_queue_delay_us = 2000;
+  /// Queued requests (all kinds) beyond which pushes are refused as
+  /// overload. 0 = unbounded (the pre-admission-control behavior).
+  std::int64_t max_queue_depth = 0;
+  /// Per-kind depth quota (indexed by RequestKind); 0 = no quota. Stops one
+  /// request kind from starving the other out of the shared queue.
+  std::int64_t kind_quota[2] = {0, 0};
+};
+
+/// Why a push was refused (kAccepted when it was not).
+enum class PushOutcome {
+  kAccepted,
+  kShutdown,   ///< shutdown() was called; no new work
+  kOverload,   ///< max_queue_depth reached
+  kKindQuota,  ///< this request kind's quota reached
 };
 
 class BatchQueue {
  public:
   explicit BatchQueue(BatchQueueConfig config);
 
-  /// Enqueues from any thread. Returns false (leaving `p` untouched) once
-  /// shutdown() has been called — the caller completes the promise.
-  bool push(PendingRequest&& p);
+  /// Enqueues from any thread. On anything but kAccepted, `p` is left
+  /// untouched — the caller completes the promise with the matching
+  /// rejection status.
+  PushOutcome push(PendingRequest&& p);
 
   /// Blocks until a batch is ready (see policy above) and returns it in
   /// FIFO order. Expired requests are shed (their promises completed as
@@ -69,6 +91,8 @@ class BatchQueue {
   void resume();
 
   std::size_t depth() const;
+  /// Currently queued requests of one kind (admission bookkeeping).
+  std::size_t depth_of(RequestKind kind) const;
   const BatchQueueConfig& config() const { return config_; }
 
  private:
@@ -80,6 +104,8 @@ class BatchQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
+  /// Queued count per RequestKind, maintained by push / shed / pop.
+  std::int64_t kind_depth_[2] = {0, 0};
   bool shutdown_ = false;
   bool paused_ = false;
 };

@@ -1,0 +1,126 @@
+#include "serve/circuit_breaker.hpp"
+
+#include "core/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdl::serve {
+
+const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+void CircuitBreakerConfig::validate() const {
+  MDL_CHECK(window > 0, "window must be positive");
+  MDL_CHECK(min_samples > 0 && min_samples <= window,
+            "min_samples must be in [1, window]");
+  MDL_CHECK(failure_threshold > 0.0 && failure_threshold <= 1.0,
+            "failure_threshold must be in (0, 1]");
+  MDL_CHECK(open_cooldown_us >= 0, "open_cooldown_us must be >= 0");
+  MDL_CHECK(half_open_admits > 0, "half_open_admits must be positive");
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  config_.validate();
+  MDL_OBS_GAUGE_SET("serve.circuit_state", 0.0);
+}
+
+void CircuitBreaker::set_state_locked(State s) {
+  state_ = s;
+  // 0 = closed, 1 = open, 2 = half-open — the serve.circuit_state gauge the
+  // counter sampler sweeps into the trace.
+  MDL_OBS_GAUGE_SET("serve.circuit_state",
+                    s == State::kClosed ? 0.0
+                    : s == State::kOpen ? 1.0
+                                        : 2.0);
+  MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.circuit", 0, nullptr,
+                     0.0, "state", to_string(s));
+}
+
+void CircuitBreaker::open_locked(Clock::time_point now) {
+  set_state_locked(State::kOpen);
+  opened_at_ = now;
+  ++times_opened_;
+  window_.clear();
+  window_failures_ = 0;
+  MDL_OBS_COUNTER_ADD("serve.circuit_opened", 1);
+}
+
+bool CircuitBreaker::try_admit() {
+  if (!config_.enabled) return true;
+  std::lock_guard lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto now = Clock::now();
+      if (now - opened_at_ <
+          std::chrono::microseconds(config_.open_cooldown_us))
+        return false;
+      set_state_locked(State::kHalfOpen);
+      half_open_inflight_ = 0;
+      [[fallthrough]];
+    }
+    case State::kHalfOpen:
+      if (half_open_inflight_ >= config_.half_open_admits) return false;
+      ++half_open_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_locked(bool failure) {
+  if (state_ == State::kHalfOpen) {
+    // Probe outcome decides immediately: any failure re-opens, the first
+    // success closes (a healthy executor serves the next window normally).
+    if (failure) {
+      open_locked(Clock::now());
+    } else {
+      set_state_locked(State::kClosed);
+      window_.clear();
+      window_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kOpen) return;  // stale outcome from before the trip
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (static_cast<std::int64_t>(window_.size()) > config_.window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (static_cast<std::int64_t>(window_.size()) >= config_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          config_.failure_threshold * static_cast<double>(window_.size()))
+    open_locked(Clock::now());
+}
+
+void CircuitBreaker::record_success() {
+  if (!config_.enabled) return;
+  std::lock_guard lock(mu_);
+  record_locked(false);
+}
+
+void CircuitBreaker::record_failure() {
+  if (!config_.enabled) return;
+  std::lock_guard lock(mu_);
+  record_locked(true);
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::int64_t CircuitBreaker::times_opened() const {
+  std::lock_guard lock(mu_);
+  return times_opened_;
+}
+
+}  // namespace mdl::serve

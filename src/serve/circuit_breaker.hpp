@@ -1,0 +1,93 @@
+// Circuit breaker guarding the inference executor (the classic
+// closed / open / half-open state machine).
+//
+// The executor records one outcome per batch (success, or a model failure —
+// including injected chaos faults). Admission consults the breaker on every
+// submit:
+//   - closed:    admit everything; track outcomes in a sliding window of the
+//                last `window` batches. Once the window holds at least
+//                `min_samples` outcomes and the failure fraction reaches
+//                `failure_threshold`, trip to open.
+//   - open:      reject everything (kRejectedCircuit) — the executor is
+//                presumed unhealthy and hammering it helps nobody. After
+//                `open_cooldown_us` the next admission attempt moves the
+//                breaker to half-open.
+//   - half-open: admit up to `half_open_admits` probe requests; everything
+//                else is still rejected. The first successful probe batch
+//                closes the breaker (window reset); any probe failure
+//                re-opens it for a fresh cooldown.
+//
+// Thread-safety: try_admit() races producer threads against the executor's
+// record_* calls; everything is under one mutex (admission already pays a
+// queue lock per request, a second uncontended lock is noise next to the
+// GEMMs behind it).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace mdl::serve {
+
+struct CircuitBreakerConfig {
+  /// Master switch; disabled (the default) admits everything and records
+  /// nothing, preserving pre-breaker behavior.
+  bool enabled = false;
+  /// Sliding window length, in batch outcomes, used while closed.
+  std::int64_t window = 16;
+  /// Minimum outcomes in the window before the failure rate is trusted.
+  std::int64_t min_samples = 4;
+  /// Failure fraction (failures / window outcomes) that trips the breaker.
+  double failure_threshold = 0.5;
+  /// How long an open breaker rejects before probing again.
+  std::int64_t open_cooldown_us = 50'000;
+  /// Probe requests admitted per half-open episode.
+  std::int64_t half_open_admits = 2;
+
+  /// Throws mdl::Error if any knob is out of range.
+  void validate() const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  /// Admission check, called per submit. May perform the time-based
+  /// open -> half-open transition. Returns false when the request must be
+  /// rejected as kRejectedCircuit.
+  bool try_admit();
+
+  /// Batch outcomes, reported by the executor after each batch completes
+  /// (exactly one call per executed batch).
+  void record_success();
+  void record_failure();
+
+  State state() const;
+  /// Trips since construction (serve.circuit_opened counter mirrors this).
+  std::int64_t times_opened() const;
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void open_locked(Clock::time_point now);
+  void set_state_locked(State s);
+  void record_locked(bool failure);
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::deque<bool> window_;  ///< recent batch outcomes; true = failure
+  std::int64_t window_failures_ = 0;
+  Clock::time_point opened_at_{};
+  std::int64_t half_open_inflight_ = 0;  ///< probes admitted this episode
+  std::int64_t times_opened_ = 0;
+};
+
+const char* to_string(CircuitBreaker::State s);
+
+}  // namespace mdl::serve

@@ -1,0 +1,79 @@
+// Seeded chaos injection for the serving path — the serving analogue of
+// mdl::sim's FaultPlan, with the same determinism contract.
+//
+// Every fault decision is a pure function of (seed, request_id): the
+// injector derives an independent splitmix64-mixed stream per (request,
+// fault kind) and draws from it, so
+//   - a given request id always suffers the same faults under the same
+//     config, regardless of wall-clock timing or thread interleaving;
+//   - replaying a fault schedule needs only the seed and the request ids
+//     (which the flight recorder stamps on every event).
+// Batch-scoped faults (stall, failure, pop delay) key on the id of the
+// *first* request in the batch, so a staged batch composition replays its
+// faults exactly.
+//
+// The injector sits inside InferenceServer's executor loop:
+//   - pop_delay_us: executor sleeps before handling a popped batch
+//     (simulates a descheduled / GC-paused / page-faulting worker — queued
+//     requests keep aging toward their deadlines);
+//   - stall_us: the batch takes this much longer (slow kernel, thermal
+//     throttling) but still succeeds;
+//   - should_fail: the model "throws" mid-batch (OOM, corrupted activation,
+//     device loss) — surfaced to every rider as kError through the
+//     executor's failure-isolation path, and fed to the circuit breaker.
+#pragma once
+
+#include <cstdint>
+
+namespace mdl::serve {
+
+struct FaultConfig {
+  /// Drives every draw; two injectors with equal config inject identically.
+  std::uint64_t seed = 42;
+
+  /// P(a batch fails as if the model threw).
+  double batch_fail_prob = 0.0;
+
+  /// P(a batch stalls) and the stall length.
+  double batch_stall_prob = 0.0;
+  std::int64_t batch_stall_us = 1000;
+
+  /// P(the executor is delayed before handling a popped batch), and for
+  /// how long.
+  double pop_delay_prob = 0.0;
+  std::int64_t pop_delay_us = 1000;
+
+  /// True when any fault has non-zero probability.
+  bool active() const {
+    return batch_fail_prob > 0.0 || batch_stall_prob > 0.0 ||
+           pop_delay_prob > 0.0;
+  }
+
+  /// Throws mdl::Error if any knob is out of range.
+  void validate() const;
+};
+
+/// Stateless decision oracle over FaultConfig (all state lives in the seed),
+/// therefore trivially thread-safe and copyable.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  bool active() const { return config_.active(); }
+
+  /// Should the batch whose first request is `request_id` fail?
+  bool should_fail(std::uint64_t request_id) const;
+
+  /// Stall length for this batch; 0 = no stall.
+  std::int64_t stall_us(std::uint64_t request_id) const;
+
+  /// Executor delay before handling this batch; 0 = none.
+  std::int64_t pop_delay_us(std::uint64_t request_id) const;
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace mdl::serve

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/tensor.hpp"
@@ -53,13 +54,26 @@ struct InferenceRequest {
   std::int64_t deadline_us = 0;
 };
 
+/// Every terminal state a submitted request can reach. The failure-domain
+/// contract (DESIGN.md §Failure domains): every future completes with
+/// exactly one of these — no exception escapes the executor, no future is
+/// abandoned, and each non-kOk status names who refused the work:
+///   admission (overload / circuit / shutdown), the queue (deadline), or
+///   the executor itself (error).
 enum class RequestStatus {
   kOk,
   kShedDeadline,      ///< dropped unexecuted: deadline passed while queued
   kRejectedShutdown,  ///< submitted after (or dropped during) shutdown
+  kRejectedOverload,  ///< admission control: queue depth / kind quota full
+  kRejectedCircuit,   ///< circuit breaker open: executor presumed unhealthy
+  kError,             ///< executed and failed: model threw (message kept)
 };
 
 const char* to_string(RequestStatus s);
+
+/// True for the statuses that mean "the request never reached the model"
+/// (a client may retry these); false for kOk and kError.
+bool is_rejection(RequestStatus s);
 
 struct InferenceResult {
   RequestStatus status = RequestStatus::kOk;
@@ -67,9 +81,17 @@ struct InferenceResult {
   /// including shed/rejected results, so failed requests can be found in a
   /// flight-recorder dump by id.
   std::uint64_t request_id = 0;
-  /// Why the request was not executed ("deadline", "shutdown"); nullptr on
-  /// kOk. Always a static string, safe to hold indefinitely.
+  /// Why the request was not executed ("deadline", "shutdown",
+  /// "overload:queue_depth", "overload:kind_quota", "circuit_open",
+  /// "error"); nullptr on kOk. Always a static string, safe to hold
+  /// indefinitely. Prefer status_detail, which carries the same token plus
+  /// the exception message on kError.
   const char* shed_reason = nullptr;
+  /// Uniform machine-readable outcome detail, set on every non-kOk path:
+  /// "deadline", "shutdown", "overload:queue_depth", "overload:kind_quota",
+  /// "circuit_open", or the executor's exception message on kError —
+  /// callers distinguish outcomes without parsing logs.
+  std::string status_detail;
   Tensor logits;            ///< [1, classes]; empty unless kOk
   std::int64_t argmax = -1; ///< predicted class; -1 unless kOk
   std::int64_t batch_size = 0;  ///< occupancy of the executing batch

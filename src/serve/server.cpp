@@ -38,8 +38,25 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kOk: return "ok";
     case RequestStatus::kShedDeadline: return "shed_deadline";
     case RequestStatus::kRejectedShutdown: return "rejected_shutdown";
+    case RequestStatus::kRejectedOverload: return "rejected_overload";
+    case RequestStatus::kRejectedCircuit: return "rejected_circuit";
+    case RequestStatus::kError: return "error";
   }
   return "unknown";
+}
+
+bool is_rejection(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kShedDeadline:
+    case RequestStatus::kRejectedShutdown:
+    case RequestStatus::kRejectedOverload:
+    case RequestStatus::kRejectedCircuit:
+      return true;
+    case RequestStatus::kOk:
+    case RequestStatus::kError:
+      return false;
+  }
+  return false;
 }
 
 InferenceServer::InferenceServer(const apps::MultiViewModel* multiview,
@@ -48,7 +65,12 @@ InferenceServer::InferenceServer(const apps::MultiViewModel* multiview,
     : multiview_(multiview),
       split_(split),
       config_(config),
-      queue_({config.max_batch_size, config.max_queue_delay_us}) {
+      queue_({config.max_batch_size,
+              config.max_queue_delay_us,
+              config.max_queue_depth,
+              {config.kind_quota[0], config.kind_quota[1]}}),
+      breaker_(config.breaker),
+      injector_(config.fault) {
   MDL_CHECK(multiview_ != nullptr || split_ != nullptr,
             "server needs at least one model");
   MDL_CHECK(config_.default_deadline_us >= 0,
@@ -92,6 +114,22 @@ void InferenceServer::validate(const InferenceRequest& request) const {
   }
 }
 
+std::future<InferenceResult> InferenceServer::reject(std::uint64_t rid,
+                                                     RequestStatus status,
+                                                     const char* reason) {
+  MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.reject", rid, nullptr,
+                     0.0, "reason", reason);
+  std::promise<InferenceResult> rejected;
+  std::future<InferenceResult> future = rejected.get_future();
+  InferenceResult r;
+  r.status = status;
+  r.request_id = rid;
+  r.shed_reason = reason;
+  r.status_detail = reason;
+  rejected.set_value(std::move(r));
+  return future;
+}
+
 std::future<InferenceResult> InferenceServer::submit(
     InferenceRequest request) {
   validate(request);
@@ -100,6 +138,13 @@ std::future<InferenceResult> InferenceServer::submit(
     request.request_id =
         g_next_request_id.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t rid = request.request_id;
+
+  // Circuit check before any queue bookkeeping: an open breaker means the
+  // executor is presumed unhealthy and the request never becomes inflight.
+  if (!breaker_.try_admit()) {
+    MDL_OBS_COUNTER_ADD("serve.rejected_circuit", 1);
+    return reject(rid, RequestStatus::kRejectedCircuit, "circuit_open");
+  }
 
   PendingRequest pending;
   pending.enqueue_time = Clock::now();
@@ -120,21 +165,27 @@ std::future<InferenceResult> InferenceServer::submit(
   MDL_OBS_ASYNC_BEGIN("serve.request", rid);
   MDL_OBS_ASYNC_BEGIN("serve.queue", rid);
 
-  if (!queue_.push(std::move(pending))) {
-    // Shut down between the caller's submit and the enqueue: reject.
-    MDL_OBS_COUNTER_ADD("serve.rejected_shutdown", 1);
-    MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
-    MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.reject", rid,
-                       nullptr, 0.0, "reason", "shutdown");
-    MDL_OBS_ASYNC_END("serve.queue", rid);
-    MDL_OBS_ASYNC_END("serve.request", rid);
-    std::promise<InferenceResult> rejected;
-    future = rejected.get_future();
-    InferenceResult r;
-    r.status = RequestStatus::kRejectedShutdown;
-    r.request_id = rid;
-    r.shed_reason = "shutdown";
-    rejected.set_value(std::move(r));
+  const PushOutcome outcome = queue_.push(std::move(pending));
+  if (outcome == PushOutcome::kAccepted) return future;
+
+  // Refused at admission (shutdown, queue bound, or kind quota): unwind the
+  // inflight bookkeeping and complete immediately with the matching status.
+  MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
+  MDL_OBS_ASYNC_END("serve.queue", rid);
+  MDL_OBS_ASYNC_END("serve.request", rid);
+  switch (outcome) {
+    case PushOutcome::kShutdown:
+      MDL_OBS_COUNTER_ADD("serve.rejected_shutdown", 1);
+      return reject(rid, RequestStatus::kRejectedShutdown, "shutdown");
+    case PushOutcome::kOverload:
+      MDL_OBS_COUNTER_ADD("serve.rejected_overload", 1);
+      return reject(rid, RequestStatus::kRejectedOverload,
+                    "overload:queue_depth");
+    case PushOutcome::kKindQuota:
+      MDL_OBS_COUNTER_ADD("serve.rejected_overload", 1);
+      return reject(rid, RequestStatus::kRejectedOverload,
+                    "overload:kind_quota");
+    case PushOutcome::kAccepted: break;  // unreachable
   }
   return future;
 }
@@ -198,6 +249,32 @@ Tensor InferenceServer::score(const InferenceRequest& request) const {
   return split_->cloud_infer(perturbed_representation(request));
 }
 
+void InferenceServer::fail_batch(std::vector<PendingRequest>& batch,
+                                 Clock::time_point formed,
+                                 const char* detail) {
+  const auto done = Clock::now();
+  const auto b = static_cast<std::int64_t>(batch.size());
+  const double exec_us = us_between(formed, done);
+  MDL_OBS_COUNTER_ADD("serve.batches_failed", 1);
+  for (PendingRequest& p : batch) {
+    const std::uint64_t rid = p.request.request_id;
+    InferenceResult r;
+    r.status = RequestStatus::kError;
+    r.request_id = rid;
+    r.shed_reason = "error";
+    r.status_detail = detail;
+    r.batch_size = b;
+    r.queue_wait_us = us_between(p.enqueue_time, formed);
+    r.exec_us = exec_us;
+    r.latency_us = us_between(p.enqueue_time, done);
+    MDL_OBS_COUNTER_ADD("serve.errors", 1);
+    MDL_OBS_GAUGE_ADD("serve.requests_inflight", -1.0);
+    p.promise.set_value(std::move(r));
+    MDL_OBS_ASYNC_END("serve.exec", rid);
+    MDL_OBS_ASYNC_END("serve.request", rid);
+  }
+}
+
 void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
   MDL_OBS_SPAN("serve.batch");
   const auto formed = Clock::now();
@@ -212,7 +289,43 @@ void InferenceServer::execute_batch(std::vector<PendingRequest> batch) {
                        static_cast<double>(b));
   }
 
-  Tensor logits = infer_stacked(batch);  // [B, classes]
+  // Failure isolation: whatever the model (or the chaos injector) throws
+  // while this batch executes completes only this batch's futures as
+  // kError — the executor thread itself survives and moves on to the next
+  // batch. Without this, one poisoned request killed the whole server.
+  Tensor logits;  // [B, classes]
+  const std::uint64_t batch_key = batch.front().request.request_id;
+  try {
+    if (injector_.active()) {
+      const std::int64_t stall = injector_.stall_us(batch_key);
+      if (stall > 0) {
+        MDL_OBS_COUNTER_ADD("serve.faults_stall", 1);
+        MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.fault",
+                           batch_key, "stall_us",
+                           static_cast<double>(stall), "kind", "stall");
+        std::this_thread::sleep_for(std::chrono::microseconds(stall));
+      }
+      if (injector_.should_fail(batch_key)) {
+        MDL_OBS_COUNTER_ADD("serve.faults_injected", 1);
+        MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.fault",
+                           batch_key, "batch_size", static_cast<double>(b),
+                           "kind", "batch_fail");
+        throw Error("injected batch fault");
+      }
+    }
+    logits = infer_stacked(batch);
+  } catch (const std::exception& e) {
+    // Record before completing the futures: once a caller's .get() returns,
+    // the breaker has already absorbed this batch's outcome.
+    breaker_.record_failure();
+    fail_batch(batch, formed, e.what());
+    return;
+  } catch (...) {
+    breaker_.record_failure();
+    fail_batch(batch, formed, "unknown executor exception");
+    return;
+  }
+  breaker_.record_success();
   const auto done = Clock::now();
   const double exec_us = us_between(formed, done);
   MDL_OBS_HISTOGRAM_OBSERVE("serve.exec_us", exec_us);
@@ -246,6 +359,20 @@ void InferenceServer::run() {
   for (;;) {
     std::vector<PendingRequest> batch = queue_.pop_batch();
     if (batch.empty()) return;  // drained and shut down
+    if (injector_.active()) {
+      // Injected executor delay (descheduled worker): the popped batch is
+      // already committed to execution, but requests still in the queue
+      // keep aging toward their deadlines behind it.
+      const std::int64_t delay =
+          injector_.pop_delay_us(batch.front().request.request_id);
+      if (delay > 0) {
+        MDL_OBS_COUNTER_ADD("serve.faults_pop_delay", 1);
+        MDL_OBS_RING_EVENT(obs::EventType::kInstant, "serve.fault",
+                           batch.front().request.request_id, "delay_us",
+                           static_cast<double>(delay), "kind", "pop_delay");
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
     execute_batch(std::move(batch));
   }
 }

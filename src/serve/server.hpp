@@ -13,8 +13,18 @@
 // per-request seeded Rng *before* stacking — so neither batch size nor
 // MDL_THREADS can change any request's logits.
 //
-// Latency (p50/p95/p99), queue depth, batch occupancy and shed counts are
-// published through mdl::obs under the serve.* prefix.
+// Failure domains (DESIGN.md §Failure domains & the degradation ladder):
+// admission control (bounded queue + per-kind quotas -> kRejectedOverload),
+// a circuit breaker guarding the executor (open -> kRejectedCircuit), and
+// executor failure isolation (a throwing model completes only its batch's
+// futures as kError — the executor thread survives). A seeded
+// serve::FaultInjector can stall/fail batches and delay pops for
+// deterministic chaos replay; every future always completes with a
+// definite RequestStatus.
+//
+// Latency (p50/p95/p99), queue depth, batch occupancy, shed/reject/error
+// counts and the serve.circuit_state gauge are published through mdl::obs
+// under the serve.* prefix.
 #pragma once
 
 #include <atomic>
@@ -25,6 +35,8 @@
 #include "apps/multiview_model.hpp"
 #include "obs/sampler.hpp"
 #include "serve/batch_queue.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/request.hpp"
 #include "split/split_inference.hpp"
 
@@ -37,12 +49,22 @@ struct ServeConfig {
   std::int64_t max_queue_delay_us = 2000;
   /// Deadline applied to requests that don't set one; 0 = no deadline.
   std::int64_t default_deadline_us = 0;
+  /// Admission control: queued requests beyond this are rejected as
+  /// kRejectedOverload. 0 = unbounded.
+  std::int64_t max_queue_depth = 0;
+  /// Per-kind queue quota, indexed by RequestKind (kMultiView, kSplit);
+  /// 0 = no quota for that kind.
+  std::int64_t kind_quota[2] = {0, 0};
   /// Period of the flight-recorder counter sampler the server runs while
   /// alive (queue depth, inflight, batch occupancy show up as Chrome "C"
   /// counter tracks). 0 disables the sampler thread.
   std::int64_t sampler_period_us = 1000;
   /// Server-side perturbation for kSplit requests (Fig. 3 privacy path).
   split::PerturbConfig perturb;
+  /// Circuit breaker guarding the executor (disabled by default).
+  CircuitBreakerConfig breaker;
+  /// Seeded chaos injection (inactive by default; see FaultInjector).
+  FaultConfig fault;
 };
 
 /// One server fronting a multi-view model and/or a split-inference cloud
@@ -77,10 +99,21 @@ class InferenceServer {
 
   std::size_t queue_depth() const { return queue_.depth(); }
   const ServeConfig& config() const { return config_; }
+  /// Current breaker state (kClosed when the breaker is disabled).
+  CircuitBreaker::State circuit_state() const { return breaker_.state(); }
+  const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   void run();
   void execute_batch(std::vector<PendingRequest> batch);
+  /// Completes every future in a batch whose execution threw as
+  /// kError(detail) — the executor's failure-isolation path.
+  void fail_batch(std::vector<PendingRequest>& batch,
+                  std::chrono::steady_clock::time_point formed,
+                  const char* detail);
+  /// Completes a request that never reached the queue (reject paths).
+  std::future<InferenceResult> reject(std::uint64_t rid, RequestStatus status,
+                                      const char* reason);
   /// Stacks + infers one same-kind batch; returns [B, classes] logits.
   Tensor infer_stacked(const std::vector<PendingRequest>& batch) const;
   /// Per-request server-side perturbation (seeded by noise_seed).
@@ -91,6 +124,8 @@ class InferenceServer {
   const split::SplitInference* split_;
   ServeConfig config_;
   BatchQueue queue_;
+  CircuitBreaker breaker_;
+  FaultInjector injector_;
   std::thread executor_;
   /// Null when sampler_period_us == 0. Declared after queue_/executor_ so
   /// it stops first on destruction.

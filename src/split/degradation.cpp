@@ -1,0 +1,51 @@
+#include "split/degradation.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mdl::split {
+
+void DegradationLadder::add_stage(std::string name,
+                                  std::unique_ptr<nn::Sequential> model,
+                                  std::int64_t flops) {
+  MDL_CHECK(model != nullptr, "fallback stage needs a model");
+  MDL_CHECK(flops >= 0, "flops must be >= 0");
+  FallbackStage s;
+  s.name = std::move(name);
+  s.flops = flops > 0 ? flops : model->flops_per_example();
+  s.model = std::move(model);
+  stages_.push_back(std::move(s));
+}
+
+const FallbackStage& DegradationLadder::stage(std::size_t i) const {
+  MDL_CHECK(i < stages_.size(),
+            "stage " << i << " out of range (ladder has " << stages_.size()
+                     << ")");
+  return stages_[i];
+}
+
+std::size_t DegradationLadder::pick(const mobile::InferencePlanner& planner,
+                                    double latency_budget_s) const {
+  MDL_CHECK(!stages_.empty(), "degradation ladder is empty");
+  std::size_t cheapest = 0;
+  double cheapest_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const double latency = planner.on_device(stages_[i].flops).latency_s;
+    if (latency <= latency_budget_s) return i;
+    if (latency < cheapest_latency) {
+      cheapest_latency = latency;
+      cheapest = i;
+    }
+  }
+  return cheapest;  // nothing fits: answer with the cheapest stage anyway
+}
+
+Tensor DegradationLadder::infer(std::size_t i, const Tensor& rep) const {
+  const FallbackStage& s = stage(i);
+  MDL_OBS_COUNTER_ADD("client.fallback_inferences", 1);
+  return s.model->infer(rep);
+}
+
+}  // namespace mdl::split

@@ -1,0 +1,64 @@
+// Degradation ladder: the on-device fallback stages behind the split path.
+//
+// The paper's §III trade-off puts the cloud half of a split network behind
+// a mobile radio — which can stall, drop, or die. Availability then demands
+// a degraded mode: when the cloud is unreachable (circuit open, retry
+// budget exhausted), the phone scores the representation itself with a
+// compressed stand-in for the cloud half (a pruned or int8-quantized copy,
+// built with mdl::compress), trading accuracy and device latency/energy for
+// a prediction that always arrives.
+//
+// A DegradationLadder is an ordered list of such rep -> logits stages, best
+// (most accurate, most expensive) first. pick() consults the mdl::mobile
+// cost model: the first stage whose estimated on-device latency fits the
+// caller's budget wins; if none fits, the cheapest stage does — degraded
+// mode never refuses to answer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobile/cost_model.hpp"
+#include "nn/module.hpp"
+
+namespace mdl::split {
+
+/// One on-device fallback option: a model mapping the local representation
+/// to logits, plus its cost-model inputs.
+struct FallbackStage {
+  std::string name;                     ///< "device-float", "device-int8", ...
+  std::unique_ptr<nn::Sequential> model;  ///< rep -> logits, inference-only
+  std::int64_t flops = 0;  ///< per-example cost fed to the planner
+};
+
+class DegradationLadder {
+ public:
+  DegradationLadder() = default;
+  DegradationLadder(DegradationLadder&&) = default;
+  DegradationLadder& operator=(DegradationLadder&&) = default;
+
+  /// Appends a stage (stages are consulted in insertion order: best
+  /// first). `flops` defaults to the model's own flops_per_example().
+  void add_stage(std::string name, std::unique_ptr<nn::Sequential> model,
+                 std::int64_t flops = 0);
+
+  std::size_t size() const { return stages_.size(); }
+  bool empty() const { return stages_.empty(); }
+  const FallbackStage& stage(std::size_t i) const;
+
+  /// Index of the first stage whose estimated on-device latency (via
+  /// `planner.on_device`) fits `latency_budget_s`; when none fits, the
+  /// cheapest stage. Throws mdl::Error on an empty ladder.
+  std::size_t pick(const mobile::InferencePlanner& planner,
+                   double latency_budget_s) const;
+
+  /// Scores `rep` ([N, rep_dim]) with stage `i`'s model (const infer path,
+  /// safe for concurrent callers).
+  Tensor infer(std::size_t i, const Tensor& rep) const;
+
+ private:
+  std::vector<FallbackStage> stages_;
+};
+
+}  // namespace mdl::split

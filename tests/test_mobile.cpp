@@ -157,5 +157,74 @@ TEST(CostModel, BatchedCloudAddsQueueingCosts) {
   EXPECT_GT(split_batched.latency_s, p.split(10'000'000, 128, flops, 100).latency_s);
 }
 
+TEST(RetryPolicyModel, AttemptAndFallbackProbabilities) {
+  RetryPolicy r;
+  r.max_attempts = 3;
+
+  // A reliable cloud: exactly one attempt, never a fallback.
+  EXPECT_DOUBLE_EQ(r.expected_attempts(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.fallback_prob(0.0), 0.0);
+
+  // A dead cloud: all attempts burned, every request degrades.
+  EXPECT_DOUBLE_EQ(r.expected_attempts(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(r.fallback_prob(1.0), 1.0);
+
+  // Truncated geometric at p = 0.5: 1 + 0.5 + 0.25 attempts, 1/8 fallback.
+  EXPECT_DOUBLE_EQ(r.expected_attempts(0.5), 1.75);
+  EXPECT_DOUBLE_EQ(r.fallback_prob(0.5), 0.125);
+
+  // Backoff: base * mult^k, summed over the first k retries.
+  r.backoff_base_s = 0.001;
+  r.backoff_mult = 2.0;
+  EXPECT_DOUBLE_EQ(r.backoff_sum_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.backoff_sum_s(2), 0.001 + 0.002);
+}
+
+TEST(RetryPolicyModel, DegradedSplitRegimes) {
+  const auto p = planner();
+  const std::int64_t local_flops = 1'000'000;
+  const std::uint64_t rep_bytes = 128;
+  const std::int64_t cloud_flops = 1'000'000'000;
+  const std::int64_t fallback_flops = 50'000'000;
+  const BatchingModel b;
+  RetryPolicy r;
+  r.max_attempts = 3;
+  r.timeout_s = 0.02;
+
+  // fail_prob = 0 degenerates to the plain batched split estimate.
+  const CostEstimate plain =
+      p.split(local_flops, rep_bytes, cloud_flops, 100, b);
+  const DegradedSplitEstimate healthy = p.split_degraded(
+      local_flops, rep_bytes, cloud_flops, 100, b, r, 0.0, fallback_flops);
+  EXPECT_NEAR(healthy.expected.latency_s, plain.latency_s, 1e-12);
+  EXPECT_NEAR(healthy.expected.device_energy_j, plain.device_energy_j, 1e-12);
+  EXPECT_DOUBLE_EQ(healthy.fallback_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(healthy.expected_attempts, 1.0);
+
+  // fail_prob = 1: every request burns all attempts and answers on-device.
+  const DegradedSplitEstimate dead = p.split_degraded(
+      local_flops, rep_bytes, cloud_flops, 100, b, r, 1.0, fallback_flops);
+  EXPECT_DOUBLE_EQ(dead.fallback_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(dead.expected_attempts, 3.0);
+  EXPECT_EQ(dead.expected.bytes_down, 0u);  // the cloud never answered
+  const CostEstimate device_only =
+      p.on_device(local_flops + fallback_flops);
+  // All-fallback latency = on-device work + 3 timeouts + 2 backoffs.
+  EXPECT_NEAR(dead.expected.latency_s,
+              device_only.latency_s + 3.0 * r.timeout_s + r.backoff_sum_s(2),
+              1e-12);
+
+  // Expected cost rises monotonically with the failure rate.
+  double prev = healthy.expected.latency_s;
+  for (const double f : {0.1, 0.3, 0.6, 0.9}) {
+    const double cur =
+        p.split_degraded(local_flops, rep_bytes, cloud_flops, 100, b, r, f,
+                         fallback_flops)
+            .expected.latency_s;
+    EXPECT_GT(cur, prev) << "fail_prob " << f;
+    prev = cur;
+  }
+}
+
 }  // namespace
 }  // namespace mdl::mobile

@@ -406,11 +406,18 @@ TEST(ServeStress, ProducersDeadlinesAndShutdownRace) {
         // A slice of requests carries a deadline tight enough to shed.
         if (trng.bernoulli(0.3))
           req.deadline_us = prop::gen_int(trng, 50, 400);
-        auto future = server.submit(std::move(req));
-        switch (future.get().status) {
+        const InferenceResult r = server.submit(std::move(req)).get();
+        switch (r.status) {
           case RequestStatus::kOk: ok.fetch_add(1); break;
           case RequestStatus::kShedDeadline: shed.fetch_add(1); break;
           case RequestStatus::kRejectedShutdown: rejected.fetch_add(1); break;
+          // No admission bounds, breaker, or faults configured here — these
+          // cannot happen; landing on one is a real failure.
+          case RequestStatus::kRejectedOverload:
+          case RequestStatus::kRejectedCircuit:
+          case RequestStatus::kError:
+            ADD_FAILURE() << "unexpected status " << to_string(r.status);
+            break;
         }
       }
     });
