@@ -18,6 +18,7 @@
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/run_logger.hpp"
 
 namespace mdl::bench {
@@ -132,6 +133,17 @@ inline obs::RunRecord record(const std::string& event) {
 
 /// Writes one JSONL line (no-op without a sink).
 inline void log(const obs::RunRecord& r) { detail::logger().log(r); }
+
+/// Stamps the process's current/peak resident-set size onto a record —
+/// how the memory-scaling benches (fedavg_population) measure rather than
+/// assert their O(cohort) claims. The fields are machine-dependent, so the
+/// golden comparator ignores them (tests/test_golden_trace.cpp).
+inline obs::RunRecord& add_rss(obs::RunRecord& r) {
+  return r
+      .add("rss_bytes", static_cast<std::int64_t>(obs::current_rss_bytes()))
+      .add("peak_rss_bytes",
+           static_cast<std::int64_t>(obs::peak_rss_bytes()));
+}
 
 inline void banner(const std::string& experiment_id,
                    const std::string& paper_artifact,

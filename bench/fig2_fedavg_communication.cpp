@@ -82,20 +82,23 @@ int main(int argc, char** argv) {
                      .add("scheme", scheme)
                      .add("local_epochs", s.local_epochs)
                      .add("round", rs.round)
+                     .add("population", static_cast<std::int64_t>(20))
+                     .add("cohort", cfg.clients_per_round)
                      .add("test_accuracy", rs.test_accuracy)
                      .add("train_loss", rs.train_loss)
                      .add("cumulative_bytes", rs.cumulative_bytes));
-    bench::log(bench::record("trial")
-                   .add("scheme", scheme)
-                   .add("local_epochs", s.local_epochs)
-                   .add("rounds", history.back().round)
-                   .add("total_bytes", bytes)
-                   .add("final_accuracy", history.back().test_accuracy)
-                   .add("threads",
-                        static_cast<std::int64_t>(shared_pool_threads()))
-                   .add("wall_s", wall_s)
-                   .add("wall_s_per_round",
-                        wall_s / static_cast<double>(history.back().round)));
+    auto trial = bench::record("trial")
+                     .add("scheme", scheme)
+                     .add("local_epochs", s.local_epochs)
+                     .add("rounds", history.back().round)
+                     .add("total_bytes", bytes)
+                     .add("final_accuracy", history.back().test_accuracy)
+                     .add("threads",
+                          static_cast<std::int64_t>(shared_pool_threads()))
+                     .add("wall_s", wall_s)
+                     .add("wall_s_per_round",
+                          wall_s / static_cast<double>(history.back().round));
+    bench::log(bench::add_rss(trial));
 
     table.begin_row()
         .add(s.fedsgd ? "FedSGD" : "FedAvg")
@@ -160,6 +163,8 @@ int main(int argc, char** argv) {
       bench::log(bench::record("fault_round")
                      .add("dropout_prob", dropout)
                      .add("round", rs.round)
+                     .add("population", static_cast<std::int64_t>(20))
+                     .add("cohort", cfg.clients_per_round)
                      .add("selected", rs.clients_selected)
                      .add("delivered", rs.clients_delivered)
                      .add("dropouts", rs.dropouts)
@@ -172,24 +177,25 @@ int main(int argc, char** argv) {
                      .add("test_accuracy", rs.test_accuracy)
                      .add("cumulative_bytes", rs.cumulative_bytes));
     const sim::FaultCounters& fc = net.counters();
-    bench::log(bench::record("availability_trial")
-                   .add("dropout_prob", dropout)
-                   .add("rounds", history.back().round)
-                   .add("aborts", fc.aborts)
-                   .add("dropouts", fc.dropouts)
-                   .add("retries", fc.retries)
-                   .add("deadline_misses", fc.deadline_misses)
-                   .add("upload_failures", fc.upload_failures)
-                   .add("bytes_wasted", fc.bytes_wasted)
-                   .add("total_bytes", trainer.ledger().total())
-                   .add("final_accuracy", history.back().test_accuracy)
-                   .add("sim_time_s", fc.sim_time_s)
-                   .add("device_energy_j", fc.energy_j)
-                   .add("threads",
-                        static_cast<std::int64_t>(shared_pool_threads()))
-                   .add("wall_s", wall_s)
-                   .add("wall_s_per_round",
-                        wall_s / static_cast<double>(history.back().round)));
+    auto avail_trial =
+        bench::record("availability_trial")
+            .add("dropout_prob", dropout)
+            .add("rounds", history.back().round)
+            .add("aborts", fc.aborts)
+            .add("dropouts", fc.dropouts)
+            .add("retries", fc.retries)
+            .add("deadline_misses", fc.deadline_misses)
+            .add("upload_failures", fc.upload_failures)
+            .add("bytes_wasted", fc.bytes_wasted)
+            .add("total_bytes", trainer.ledger().total())
+            .add("final_accuracy", history.back().test_accuracy)
+            .add("sim_time_s", fc.sim_time_s)
+            .add("device_energy_j", fc.energy_j)
+            .add("threads", static_cast<std::int64_t>(shared_pool_threads()))
+            .add("wall_s", wall_s)
+            .add("wall_s_per_round",
+                 wall_s / static_cast<double>(history.back().round));
+    bench::log(bench::add_rss(avail_trial));
 
     avail.begin_row()
         .add_percent(dropout)

@@ -39,6 +39,7 @@ mkdir -p "$OUT_DIR"
 BENCHES=(
   fig1_selective_sgd
   fig2_fedavg_communication
+  fedavg_population
   tab_dp_federated
   fig3_split_inference
   tab_compression
@@ -107,6 +108,36 @@ wait "$RUNNER_PID" || true
 cmp "$CKPT_ROOT/ref.bin" "$CKPT_ROOT/resumed.bin"
 echo "kill-and-resume OK: resumed model byte-identical to uninterrupted run"
 
+# Same crash-safety contract on the O(cohort) virtual-population path:
+# shards are re-derived from (population_seed, client_id) after the resume,
+# so this also exercises the checkpoint's population-fingerprint guard.
+echo "=== kill-and-resume (virtual population) ==="
+VCKPT_ROOT="$BUILD_DIR/smoke-ckpt-virtual"
+rm -rf "$VCKPT_ROOT"
+mkdir -p "$VCKPT_ROOT"
+"$RUNNER" --rounds 6 --seed 17 --virtual 1000 --out "$VCKPT_ROOT/ref.bin"
+"$RUNNER" --rounds 6 --seed 17 --virtual 1000 --out "$VCKPT_ROOT/killed.bin" \
+  --checkpoint-dir "$VCKPT_ROOT/ckpt" --sleep-ms 300 &
+RUNNER_PID=$!
+for _ in $(seq 1 600); do
+  compgen -G "$VCKPT_ROOT/ckpt/ckpt.*" > /dev/null && break
+  sleep 0.05
+done
+compgen -G "$VCKPT_ROOT/ckpt/ckpt.*" > /dev/null || {
+  echo "error: no checkpoint appeared before the kill (virtual)" >&2
+  exit 1
+}
+kill -9 "$RUNNER_PID"
+wait "$RUNNER_PID" || true
+[[ ! -f "$VCKPT_ROOT/killed.bin" ]] || {
+  echo "error: killed virtual run finished before SIGKILL landed" >&2
+  exit 1
+}
+"$RUNNER" --rounds 6 --seed 17 --virtual 1000 --out "$VCKPT_ROOT/resumed.bin" \
+  --checkpoint-dir "$VCKPT_ROOT/ckpt" --resume
+cmp "$VCKPT_ROOT/ref.bin" "$VCKPT_ROOT/resumed.bin"
+echo "kill-and-resume OK: virtual-population resume byte-identical"
+
 echo "=== micro_kernels (filtered) ==="
 MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --json "$OUT_DIR/micro_kernels.jsonl" \
@@ -146,7 +177,7 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   for threads in 2 8; do
     TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
       "$TSAN_DIR/tests/mdl_tests" \
-      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*'
+      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*:Population*'
   done
   # The chaos liveness property under TSan: producers x injected faults x
   # breaker transitions x shutdown, fixed seed for replayability.

@@ -1,5 +1,10 @@
 #include "federated/common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
@@ -137,6 +142,80 @@ double train_centralized(nn::Sequential& model, const data::TabularDataset& ds,
                          std::int64_t epochs, std::int64_t batch_size,
                          double lr, Rng& rng) {
   return local_sgd(model, ds, epochs, batch_size, lr, rng);
+}
+
+std::vector<std::size_t> sample_cohort(Rng& rng, std::size_t n,
+                                       std::size_t k) {
+  MDL_CHECK(k <= n, "cannot sample " << k << " distinct clients from " << n);
+  // Sparse replay of Rng::sample_without_replacement's partial Fisher-Yates:
+  // the dense version walks `idx = iota(n)` doing `swap(idx[i], idx[j])`;
+  // here the permutation vector is virtual — `perm` records only displaced
+  // entries (at most 2k of them), and reads fall back to the identity. Same
+  // draws consumed, same cohort returned, O(k) memory.
+  std::unordered_map<std::size_t, std::size_t> perm;
+  perm.reserve(2 * k);
+  const auto at = [&perm](std::size_t i) {
+    const auto it = perm.find(i);
+    return it == perm.end() ? i : it->second;
+  };
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j =
+        static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(n - i))) +
+        i;
+    const std::size_t vi = at(i);
+    const std::size_t vj = at(j);
+    out.push_back(vj);
+    perm[j] = vi;
+    perm[i] = vj;
+  }
+  return out;
+}
+
+std::vector<std::size_t> sample_bernoulli_cohort(Rng& rng, std::size_t n,
+                                                 double p) {
+  MDL_CHECK(p >= 0.0, "negative sampling probability " << p);
+  std::vector<std::size_t> out;
+  if (n == 0 || p <= 0.0) return out;
+  if (p >= 1.0) {  // log1p(-1) is -inf; everyone is selected
+    out.resize(n);
+    std::iota(out.begin(), out.end(), std::size_t{0});
+    return out;
+  }
+  // Geometric gap skipping: the index gap to the next success is
+  // floor(log(U) / log(1-p)) with U ~ Uniform(0,1], so a round costs
+  // O(n*p) draws instead of n Bernoulli trials — same joint distribution.
+  const double denom = std::log1p(-p);
+  std::size_t i = 0;
+  while (true) {
+    const double u = 1.0 - rng.uniform();  // in (0, 1]
+    const double gap = std::floor(std::log(u) / denom);
+    // Guard the cast: gap can exceed the remaining range (or any size_t).
+    if (!(gap < static_cast<double>(n - i))) break;
+    i += static_cast<std::size_t>(gap);
+    out.push_back(i);
+    if (++i >= n) break;
+  }
+  return out;
+}
+
+std::vector<ChunkRange> chunk_ranges(std::size_t n, std::size_t max_chunks) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  MDL_CHECK(max_chunks > 0, "need at least one aggregation shard");
+  const std::size_t count = std::min(n, max_chunks);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  chunks.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    chunks.push_back({begin, begin + len});
+    begin += len;
+  }
+  return chunks;
 }
 
 }  // namespace mdl::federated

@@ -80,6 +80,40 @@ struct RoundStats {
 void serialize_round_stats(BinaryWriter& w, const RoundStats& s);
 RoundStats deserialize_round_stats(BinaryReader& r);
 
+/// Draws `k` distinct client ids uniformly from [0, n) in O(k) time and
+/// memory — a sparse-map partial Fisher-Yates that produces *exactly* the
+/// same sample (and consumes exactly the same Rng draws) as
+/// Rng::sample_without_replacement, without ever building the O(n)
+/// permutation vector. This is what lets a trainer pick a 100-client
+/// cohort out of a 1M-client population per round.
+std::vector<std::size_t> sample_cohort(Rng& rng, std::size_t n,
+                                       std::size_t k);
+
+/// Samples each of [0, n) independently with probability p (DP-FedAvg's
+/// "modification 1") via geometric gap skipping: O(expected cohort) draws
+/// instead of n Bernoulli draws, identical selection distribution. Returns
+/// the selected ids in increasing order.
+std::vector<std::size_t> sample_bernoulli_cohort(Rng& rng, std::size_t n,
+                                                 double p);
+
+/// One contiguous range of cohort indices, processed sequentially by a
+/// single aggregation shard.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+  std::size_t size() const { return end - begin; }
+};
+
+/// Balanced contiguous partition of [0, n) into min(n, max_chunks) ranges
+/// (sizes differ by at most one, earlier chunks get the extras). The
+/// partition depends only on (n, max_chunks) — never on the thread count —
+/// which is the basis of the streaming aggregator's bit-reproducibility:
+/// each chunk folds its clients in index order into a private accumulator,
+/// and chunks reduce in fixed order afterwards. When every chunk holds one
+/// client (n <= max_chunks) the fold order degenerates to the historical
+/// strictly-sequential sum, bit for bit.
+std::vector<ChunkRange> chunk_ranges(std::size_t n, std::size_t max_chunks);
+
 /// Runs `epochs` of minibatch SGD on `model` over `shard`. Returns the mean
 /// training loss of the final epoch.
 double local_sgd(nn::Sequential& model, const data::TabularDataset& shard,

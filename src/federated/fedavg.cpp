@@ -7,13 +7,15 @@
 #include "core/threadpool.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 #include "sim/sim_network.hpp"
 
 namespace mdl::federated {
 
 namespace {
-constexpr std::uint32_t kFedAvgStateVersion = 1;
+// v2 appended the population fingerprint; v1 archives resume unguarded.
+constexpr std::uint32_t kFedAvgStateVersion = 2;
 }
 
 void FedAvgTrainer::save_state(BinaryWriter& w) const {
@@ -27,10 +29,12 @@ void FedAvgTrainer::save_state(BinaryWriter& w) const {
   w.write_f32_vector(nn::flatten_values(global_->parameters()));
   w.write_u64(ledger_.bytes_up);
   w.write_u64(ledger_.bytes_down);
+  w.write_u64(population_->fingerprint());
 }
 
 void FedAvgTrainer::load_state(BinaryReader& r) {
-  ckpt::read_state_header(r, "fedavg", kFedAvgStateVersion);
+  const std::uint32_t stored =
+      ckpt::read_state_header(r, "fedavg", kFedAvgStateVersion);
   const std::uint64_t seed = r.read_u64();
   MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
                                       << seed << ", run uses "
@@ -54,28 +58,45 @@ void FedAvgTrainer::load_state(BinaryReader& r) {
   nn::unflatten_into_values(w_global, global_->parameters());
   ledger_.bytes_up = r.read_u64();
   ledger_.bytes_down = r.read_u64();
+  if (stored >= 2) {
+    const std::uint64_t fp = r.read_u64();
+    MDL_CHECK(fp == population_->fingerprint(),
+              "checkpoint population fingerprint "
+                  << fp << " vs " << population_->fingerprint()
+                  << " — resumed against a different client population");
+  }
+}
+
+FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
+                             std::shared_ptr<const ClientPopulation> population,
+                             FedAvgConfig config)
+    : factory_(std::move(factory)),
+      population_(std::move(population)),
+      config_(config),
+      rng_(config.seed) {
+  MDL_CHECK(population_ != nullptr && population_->size() > 0,
+            "need at least one client shard");
+  MDL_CHECK(config_.clients_per_round > 0 &&
+                config_.clients_per_round <=
+                    static_cast<std::int64_t>(population_->size()),
+            "clients_per_round " << config_.clients_per_round << " vs "
+                                 << population_->size() << " clients");
+  MDL_CHECK(config_.rounds > 0, "rounds must be positive");
+  MDL_CHECK(config_.agg_shards > 0, "agg_shards must be positive");
+  global_ = factory_(rng_);
+  client_workers_.push_back(factory_(rng_));
+  shard_scratch_.resize(1);
+  model_size_ = nn::total_size(global_->parameters());
+  MDL_CHECK(nn::total_size(client_workers_[0]->parameters()) == model_size_,
+            "factory produced differently sized models");
 }
 
 FedAvgTrainer::FedAvgTrainer(ModelFactory factory,
                              std::vector<data::TabularDataset> shards,
                              FedAvgConfig config)
-    : factory_(std::move(factory)),
-      shards_(std::move(shards)),
-      config_(config),
-      rng_(config.seed) {
-  MDL_CHECK(!shards_.empty(), "need at least one client shard");
-  MDL_CHECK(config_.clients_per_round > 0 &&
-                config_.clients_per_round <=
-                    static_cast<std::int64_t>(shards_.size()),
-            "clients_per_round " << config_.clients_per_round << " vs "
-                                 << shards_.size() << " shards");
-  MDL_CHECK(config_.rounds > 0, "rounds must be positive");
-  global_ = factory_(rng_);
-  client_workers_.push_back(factory_(rng_));
-  model_size_ = nn::total_size(global_->parameters());
-  MDL_CHECK(nn::total_size(client_workers_[0]->parameters()) == model_size_,
-            "factory produced differently sized models");
-}
+    : FedAvgTrainer(std::move(factory),
+                    std::make_shared<MaterializedPopulation>(std::move(shards)),
+                    config) {}
 
 void FedAvgTrainer::ensure_client_workers(std::size_t n) {
   while (client_workers_.size() < n) {
@@ -83,6 +104,7 @@ void FedAvgTrainer::ensure_client_workers(std::size_t n) {
                                 (client_workers_.size() + 1)));
     client_workers_.push_back(factory_(scratch));
   }
+  if (shard_scratch_.size() < n) shard_scratch_.resize(n);
 }
 
 std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
@@ -100,8 +122,11 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
     const std::vector<float> w_global = nn::flatten_values(global_params);
-    const auto selected = rng_.sample_without_replacement(
-        shards_.size(), static_cast<std::size_t>(config_.clients_per_round));
+    // O(cohort) sampling; consumes the same rng_ draws (and returns the
+    // same cohort) as the historical sample_without_replacement call.
+    const auto selected =
+        sample_cohort(rng_, population_->size(),
+                      static_cast<std::size_t>(config_.clients_per_round));
 
     RoundStats stats;
     stats.round = round;
@@ -145,16 +170,30 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     double round_loss = 0.0;
     if (!aborted && !survivors.empty()) {
       // Survivor-weighted aggregation: n_k / n over delivered updates only.
+      // shard_size() is O(1) even for virtual populations.
+      const std::size_t n_clients = survivors.size();
+      std::vector<std::int64_t> sizes(n_clients);
       std::int64_t n_total = 0;
-      for (const std::size_t k : survivors) n_total += shards_[k].size();
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        sizes[c] = population_->shard_size(survivors[c]);
+        n_total += sizes[c];
+      }
 
       // Intra-round parallelism (see DESIGN.md): client RNGs are forked
       // sequentially in survivor order (same rng_ stream as the serial
-      // loop), clients then train concurrently in isolated workspaces, and
-      // aggregation runs sequentially in survivor order — so the result is
-      // bit-identical at every thread count.
-      const std::size_t n_clients = survivors.size();
-      ensure_client_workers(n_clients);
+      // loop); survivors are then partitioned into min(cohort, agg_shards)
+      // contiguous chunks. Each chunk trains its clients sequentially in a
+      // private workspace, streaming weight * upload into a private double
+      // accumulator as each client finishes — so live memory is
+      // O(chunks x model), never O(cohort x model) — and the chunk
+      // accumulators reduce in fixed chunk order after the join. The
+      // partition depends only on (cohort, agg_shards), so the result is
+      // bit-identical at every thread count; with cohort <= agg_shards the
+      // chunks are singletons and the sum is bit-identical to the
+      // historical strictly-sequential fold.
+      const std::vector<ChunkRange> chunks = chunk_ranges(
+          n_clients, static_cast<std::size_t>(config_.agg_shards));
+      ensure_client_workers(chunks.size());
       std::vector<Rng> client_rngs;
       client_rngs.reserve(n_clients);
       for (std::size_t c = 0; c < n_clients; ++c) {
@@ -163,41 +202,52 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
       }
 
       std::vector<double> client_loss(n_clients, 0.0);
-      std::vector<std::vector<float>> uploads(n_clients);
       std::vector<double> client_us(n_clients, 0.0);
-      parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
-        // fedavg.round/client_update inline; ring track = (round, client id)
-        MDL_OBS_SPAN_T("client_update",
-                       obs::track_round_client(round, survivors[c]));
-        const auto t0 = std::chrono::steady_clock::now();
-        nn::Sequential& worker = *client_workers_[c];
+      std::vector<std::vector<double>> chunk_acc(chunks.size());
+      parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
+        nn::Sequential& worker = *client_workers_[s];
         const auto worker_params = worker.parameters();
-        // Download current global model to the participant.
-        nn::unflatten_into_values(w_global, worker_params);
-        if (config_.fedsgd) {
-          client_loss[c] = full_batch_gradient(worker, shards_[survivors[c]]);
-          uploads[c] = nn::flatten_grads(worker_params);
-        } else {
-          client_loss[c] =
-              local_sgd(worker, shards_[survivors[c]], config_.local_epochs,
-                        config_.batch_size, config_.client_lr,
-                        client_rngs[c]);
-          uploads[c] = nn::flatten_values(worker_params);
+        data::TabularDataset& scratch = shard_scratch_[s];
+        std::vector<double>& acc = chunk_acc[s];
+        acc.assign(w_global.size(), 0.0);
+        std::vector<float> upload;
+        for (std::size_t c = chunks[s].begin; c < chunks[s].end; ++c) {
+          // fedavg.round/client_update inline; track = (round, client id)
+          MDL_OBS_SPAN_T("client_update",
+                         obs::track_round_client(round, survivors[c]));
+          const auto t0 = std::chrono::steady_clock::now();
+          const data::TabularDataset& shard =
+              population_->shard(survivors[c], scratch);
+          // Download current global model to the participant.
+          nn::unflatten_into_values(w_global, worker_params);
+          if (config_.fedsgd) {
+            client_loss[c] = full_batch_gradient(worker, shard);
+            upload = nn::flatten_grads(worker_params);
+          } else {
+            client_loss[c] =
+                local_sgd(worker, shard, config_.local_epochs,
+                          config_.batch_size, config_.client_lr,
+                          client_rngs[c]);
+            upload = nn::flatten_values(worker_params);
+          }
+          const double weight = static_cast<double>(sizes[c]) /
+                                static_cast<double>(n_total);
+          for (std::size_t i = 0; i < upload.size(); ++i)
+            acc[i] += weight * static_cast<double>(upload[i]);
+          client_us[c] = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
         }
-        client_us[c] = std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
       });
 
       std::vector<double> aggregate(w_global.size(), 0.0);
+      for (const std::vector<double>& acc : chunk_acc)
+        for (std::size_t i = 0; i < acc.size(); ++i) aggregate[i] += acc[i];
       for (std::size_t c = 0; c < n_clients; ++c) {
-        const double weight =
-            static_cast<double>(shards_[survivors[c]].size()) /
-            static_cast<double>(n_total);
+        const double weight = static_cast<double>(sizes[c]) /
+                              static_cast<double>(n_total);
         round_loss += weight * client_loss[c];
-        for (std::size_t i = 0; i < uploads[c].size(); ++i)
-          aggregate[i] += weight * static_cast<double>(uploads[c][i]);
-        ledger_.dense_up(uploads[c].size());
+        ledger_.dense_up(static_cast<std::uint64_t>(model_size_));
         // Observed after the join, so the hot loop touches no shared
         // metric state.
         MDL_OBS_HISTOGRAM_OBSERVE("fedavg.client_us", client_us[c]);
@@ -240,6 +290,8 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
                         ledger_.bytes_down - bytes_down_before);
     MDL_OBS_GAUGE_SET("fedavg.test_accuracy", stats.test_accuracy);
     MDL_OBS_GAUGE_SET("fedavg.train_loss", stats.train_loss);
+    MDL_OBS_GAUGE_SET("fedavg.peak_rss_bytes",
+                      static_cast<double>(obs::peak_rss_bytes()));
 
     if (config_.on_round) config_.on_round(stats);
 

@@ -15,6 +15,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
+#include "federated/population.hpp"
 
 namespace mdl::federated {
 
@@ -34,6 +35,14 @@ struct FedAvgConfig {
   /// Stop once test accuracy reaches this (negative = run all rounds).
   double target_accuracy = -1.0;
   std::uint64_t seed = 7;
+  /// Streaming-aggregation shard count: survivors are partitioned into
+  /// min(cohort, agg_shards) contiguous chunks that fold their uploads into
+  /// private accumulators in parallel, reduced in fixed chunk order. Part
+  /// of the numeric contract — results are bit-identical across thread
+  /// counts for a fixed agg_shards, and identical to the historical
+  /// strictly-sequential sum whenever cohort <= agg_shards. Also caps the
+  /// workspace-model pool (one model + one shard scratch per chunk).
+  std::int64_t agg_shards = 16;
   /// Crash-safe checkpointing (disabled while checkpoint.dir is empty) and
   /// numerical-health rollback for the round loop (ckpt::TrainerGuard).
   ckpt::CheckpointConfig checkpoint;
@@ -47,6 +56,12 @@ struct FedAvgConfig {
 /// Simulated parameter server + K participants over tabular shards.
 class FedAvgTrainer {
  public:
+  /// Primary form: any ClientPopulation (materialized or virtual). Per-round
+  /// memory is O(cohort) — the population itself is never walked.
+  FedAvgTrainer(ModelFactory factory,
+                std::shared_ptr<const ClientPopulation> population,
+                FedAvgConfig config);
+  /// Historical form: wraps the shard vector in a MaterializedPopulation.
   FedAvgTrainer(ModelFactory factory, std::vector<data::TabularDataset> shards,
                 FedAvgConfig config);
 
@@ -64,6 +79,9 @@ class FedAvgTrainer {
   nn::Sequential& global_model() { return *global_; }
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
+  /// Workspace models currently allocated — capped at
+  /// min(cohort, agg_shards), never the population size (tests pin this).
+  std::size_t worker_pool_size() const { return client_workers_.size(); }
 
  private:
   /// Complete run state for crash-safe resume: config seed + fault-plan
@@ -72,19 +90,23 @@ class FedAvgTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
-  /// Grows the workspace pool to `n` models. Extra workspaces are built
-  /// from throwaway RNGs (their weights are overwritten before use), so
-  /// the trainer's rng_ stream is untouched.
+  /// Grows the workspace pool (models + shard scratches) to `n` slots —
+  /// one per aggregation chunk, so at most min(cohort, agg_shards) slots
+  /// ever exist; slots are reused across rounds. Extra workspaces are
+  /// built from throwaway RNGs (their weights are overwritten before use),
+  /// so the trainer's rng_ stream is untouched.
   void ensure_client_workers(std::size_t n);
 
   ModelFactory factory_;
-  std::vector<data::TabularDataset> shards_;
+  std::shared_ptr<const ClientPopulation> population_;
   FedAvgConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> global_;
-  /// Per-client workspaces for the parallel local-training pass; one model
-  /// per concurrently trained client.
+  /// Per-chunk workspaces for the parallel local-training pass; one model
+  /// per aggregation chunk (clients within a chunk train sequentially).
   std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
+  /// Per-chunk scratch datasets for virtual-population shard generation.
+  std::vector<data::TabularDataset> shard_scratch_;
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
   sim::SimNetwork* net_ = nullptr;

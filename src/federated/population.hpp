@@ -1,0 +1,136 @@
+// Client populations for the federated trainers: materialized vs virtual.
+//
+// FedAvg-class schemes (McMahan et al., PAPERS.md) sample a small cohort
+// per round from a *huge* device population. Materializing every client's
+// shard up front caps experiments at a few hundred clients; the
+// ClientPopulation interface instead lets a trainer ask for one client's
+// data on demand, so per-round memory is O(cohort):
+//   - MaterializedPopulation wraps a pre-built shard vector (the historical
+//     path — small-N tests, benches with real partitions);
+//   - VirtualPopulation derives client k's shard as a *pure function* of
+//     (population_seed, k): the class centroids are shared across the
+//     population (drawn once from the population seed), and each client
+//     gets its own example count, Dirichlet label mix, and Gaussian
+//     samples from an independent per-client stream. Nothing is stored —
+//     a 1M-client population costs O(classes x features) memory.
+//
+// Determinism contract: shard(k) depends only on (population_seed, k) —
+// never on access order, round number, or thread count — so the virtual
+// path is bit-identical to running over materialize()'d shards, which is
+// exactly what the PopulationTrainers tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace mdl::federated {
+
+/// On-demand access to per-client training shards. Implementations must be
+/// safe for concurrent shard() calls on distinct `scratch` objects (the
+/// trainers call it from parallel_for workers).
+class ClientPopulation {
+ public:
+  virtual ~ClientPopulation() = default;
+
+  /// Number of clients in the population.
+  virtual std::size_t size() const = 0;
+
+  /// Example count of client `client`'s shard, without materializing the
+  /// data — O(1); the survivor-weighted aggregation weights ride on this.
+  virtual std::int64_t shard_size(std::size_t client) const = 0;
+
+  /// Client `client`'s shard. Implementations either return a reference to
+  /// stored data (materialized) or fill `scratch` and return it (virtual);
+  /// the result is only valid until the next call with the same scratch.
+  virtual const data::TabularDataset& shard(
+      std::size_t client, data::TabularDataset& scratch) const = 0;
+
+  /// Checkpoint guard: a stable 64-bit digest of the population's identity
+  /// (kind, seed/derivation parameters or shard layout). A resumed run
+  /// MDL_CHECKs this against the archived value, mirroring the config-seed
+  /// and fault-plan-seed guards.
+  virtual std::uint64_t fingerprint() const = 0;
+
+  /// "materialized" or "virtual" (diagnostics).
+  virtual const char* kind() const = 0;
+};
+
+/// The historical path: every shard lives in memory. O(population) memory;
+/// retained behind the shared interface so small-N runs and real data
+/// partitions keep working unchanged.
+class MaterializedPopulation : public ClientPopulation {
+ public:
+  explicit MaterializedPopulation(std::vector<data::TabularDataset> shards);
+
+  std::size_t size() const override { return shards_.size(); }
+  std::int64_t shard_size(std::size_t client) const override;
+  const data::TabularDataset& shard(
+      std::size_t client, data::TabularDataset& scratch) const override;
+  std::uint64_t fingerprint() const override { return fingerprint_; }
+  const char* kind() const override { return "materialized"; }
+
+  const std::vector<data::TabularDataset>& shards() const { return shards_; }
+
+ private:
+  std::vector<data::TabularDataset> shards_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Generation parameters of a virtual population. The data distribution
+/// mirrors data::make_classification + Dirichlet label skew: shared
+/// Gaussian class centroids, per-client class mix ~ Dirichlet(alpha), so
+/// small alpha gives the heavily non-IID per-phone shards the federated
+/// experiments hinge on.
+struct VirtualPopulationConfig {
+  std::uint64_t population_seed = 1;
+  std::uint64_t num_clients = 1000;
+  std::int64_t num_features = 24;
+  std::int64_t num_classes = 10;
+  /// Distance between class centroids in units of within-class stddev.
+  double class_sep = 2.8;
+  /// Per-client example count is uniform in [min_examples, max_examples].
+  std::int64_t min_examples = 8;
+  std::int64_t max_examples = 64;
+  /// Dirichlet concentration of each client's label mix (small = skewed).
+  double label_skew_alpha = 0.3;
+};
+
+/// Derives every client's shard on demand from (population_seed, client).
+/// Holds only the shared centroids — O(classes x features) regardless of
+/// num_clients, which is what makes 1M-client sweeps honest.
+class VirtualPopulation : public ClientPopulation {
+ public:
+  explicit VirtualPopulation(VirtualPopulationConfig config);
+
+  std::size_t size() const override {
+    return static_cast<std::size_t>(config_.num_clients);
+  }
+  std::int64_t shard_size(std::size_t client) const override;
+  const data::TabularDataset& shard(
+      std::size_t client, data::TabularDataset& scratch) const override;
+  std::uint64_t fingerprint() const override;
+  const char* kind() const override { return "virtual"; }
+
+  /// A held-out evaluation set from the same centroids (balanced labels),
+  /// drawn from a stream independent of every client's.
+  data::TabularDataset test_set(std::int64_t num_examples) const;
+
+  /// All shards as a vector — the materialized twin for the small-N
+  /// bit-identity pins. O(population) memory; don't call this at scale.
+  std::vector<data::TabularDataset> materialize() const;
+
+  const VirtualPopulationConfig& config() const { return config_; }
+
+ private:
+  /// Client k's private stream: seeded by a splitmix64-style mix of
+  /// (population_seed, k), so it is a pure function of the pair.
+  Rng client_rng(std::size_t client) const;
+
+  VirtualPopulationConfig config_;
+  Tensor centroids_;  ///< [classes, features], shared by all clients
+};
+
+}  // namespace mdl::federated

@@ -15,7 +15,15 @@
 namespace mdl::federated {
 
 namespace {
-constexpr std::uint32_t kSelectiveSgdStateVersion = 1;
+// v2 appended the population fingerprint; v1 archives resume unguarded.
+constexpr std::uint32_t kSelectiveSgdStateVersion = 2;
+/// Workspace-chunk cap: participants are partitioned into at most this many
+/// contiguous chunks for the parallel pass; each chunk trains its
+/// participants sequentially in one reused workspace. Per-participant work
+/// is fully independent (pre-forked RNGs, snapshot downloads, merge in the
+/// sequential epilogue), so chunking has no numeric effect — it only caps
+/// the workspace pool at 16 models instead of one per participant.
+constexpr std::size_t kWorkspaceChunks = 16;
 }
 
 void SelectiveSGDTrainer::save_state(BinaryWriter& w) const {
@@ -32,10 +40,12 @@ void SelectiveSGDTrainer::save_state(BinaryWriter& w) const {
   w.write_u32_vector(seen_version_);
   w.write_u64(ledger_.bytes_up);
   w.write_u64(ledger_.bytes_down);
+  w.write_u64(population_->fingerprint());
 }
 
 void SelectiveSGDTrainer::load_state(BinaryReader& r) {
-  ckpt::read_state_header(r, "selective_sgd", kSelectiveSgdStateVersion);
+  const std::uint32_t stored =
+      ckpt::read_state_header(r, "selective_sgd", kSelectiveSgdStateVersion);
   const std::uint64_t seed = r.read_u64();
   MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
                                       << seed << ", run uses "
@@ -71,16 +81,24 @@ void SelectiveSGDTrainer::load_state(BinaryReader& r) {
             "sync-state size mismatch");
   ledger_.bytes_up = r.read_u64();
   ledger_.bytes_down = r.read_u64();
+  if (stored >= 2) {
+    const std::uint64_t fp = r.read_u64();
+    MDL_CHECK(fp == population_->fingerprint(),
+              "checkpoint population fingerprint "
+                  << fp << " vs " << population_->fingerprint()
+                  << " — resumed against a different client population");
+  }
 }
 
 SelectiveSGDTrainer::SelectiveSGDTrainer(
-    ModelFactory factory, std::vector<data::TabularDataset> shards,
+    ModelFactory factory, std::shared_ptr<const ClientPopulation> population,
     SelectiveSGDConfig config)
     : factory_(std::move(factory)),
-      shards_(std::move(shards)),
+      population_(std::move(population)),
       config_(config),
       rng_(config.seed) {
-  MDL_CHECK(!shards_.empty(), "need at least one participant");
+  MDL_CHECK(population_ != nullptr && population_->size() > 0,
+            "need at least one participant");
   MDL_CHECK(config_.upload_fraction > 0.0 && config_.upload_fraction <= 1.0,
             "upload fraction must be in (0, 1]");
   MDL_CHECK(config_.download_fraction > 0.0 &&
@@ -92,9 +110,17 @@ SelectiveSGDTrainer::SelectiveSGDTrainer(
   version_.assign(global_.size(), 0);
   // Every participant starts from the same initialization (downloaded once;
   // not counted in the per-round ledger, matching the usual accounting).
-  locals_.assign(shards_.size(), global_);
-  seen_version_.assign(shards_.size() * global_.size(), 0);
+  locals_.assign(population_->size(), global_);
+  seen_version_.assign(population_->size() * global_.size(), 0);
 }
+
+SelectiveSGDTrainer::SelectiveSGDTrainer(
+    ModelFactory factory, std::vector<data::TabularDataset> shards,
+    SelectiveSGDConfig config)
+    : SelectiveSGDTrainer(
+          std::move(factory),
+          std::make_shared<MaterializedPopulation>(std::move(shards)),
+          config) {}
 
 void SelectiveSGDTrainer::ensure_client_workers(std::size_t n) {
   while (client_workers_.size() < n) {
@@ -102,6 +128,7 @@ void SelectiveSGDTrainer::ensure_client_workers(std::size_t n) {
                                 (client_workers_.size() + 1)));
     client_workers_.push_back(factory_(scratch));
   }
+  if (shard_scratch_.size() < n) shard_scratch_.resize(n);
 }
 
 std::vector<RoundStats> SelectiveSGDTrainer::run(
@@ -133,7 +160,7 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     // participants, so payload sizes are too.
     sim::RoundReport report;
     if (net_ != nullptr) {
-      std::vector<std::size_t> all(shards_.size());
+      std::vector<std::size_t> all(population_->size());
       std::iota(all.begin(), all.end(), std::size_t{0});
       const std::uint64_t bytes_down =
           config_.download_fraction >= 1.0
@@ -159,8 +186,8 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     std::vector<std::size_t> active;
     std::vector<Rng> client_rngs;
     std::vector<bool> accepted;
-    active.reserve(shards_.size());
-    for (std::size_t k = 0; k < shards_.size(); ++k) {
+    active.reserve(population_->size());
+    for (std::size_t k = 0; k < population_->size(); ++k) {
       const sim::ClientExchange* ex =
           net_ != nullptr ? &report.clients[k] : nullptr;
       if (ex != nullptr && ex->outcome == sim::Outcome::kDropout) continue;
@@ -170,77 +197,83 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
                          (ex->delivered() && !report.aborted));
     }
     const std::size_t n_active = active.size();
-    ensure_client_workers(n_active);
-
-    // Parallel phase: download from the snapshot, train the replica, pick
-    // the top-theta_u upload coordinates. Everything touched is
-    // per-participant state; the shared g0/v0 are read-only.
+    // Chunked parallel phase (see kWorkspaceChunks): each chunk owns one
+    // workspace model + shard scratch and walks its participants
+    // sequentially. Everything written is per-participant state; the
+    // shared g0/v0 are read-only — so chunking changes no numerics.
+    const std::vector<ChunkRange> chunks =
+        chunk_ranges(n_active, kWorkspaceChunks);
+    ensure_client_workers(chunks.size());
     std::vector<double> client_loss(n_active, 0.0);
     std::vector<std::vector<std::pair<std::uint32_t, float>>> uploads(
         n_active);
     std::vector<double> client_us(n_active, 0.0);
-    parallel_for(shared_pool(), n_active, [&](std::size_t c) {
-      MDL_OBS_SPAN_T("participant_update",
-                     obs::track_round_client(round, active[c]));
-      const auto t0 = std::chrono::steady_clock::now();
-      const std::size_t k = active[c];
-      std::vector<float>& local = locals_[k];
-      std::uint32_t* seen = seen_version_.data() + k * p_count;
-      std::vector<std::size_t> order(p_count);
-
-      // -- Download: theta_d fraction of the most-stale coordinates -------
-      if (config_.download_fraction >= 1.0) {
-        for (std::size_t i = 0; i < p_count; ++i) {
-          local[i] = g0[i];
-          seen[i] = v0[i];
-        }
-      } else {
-        const std::size_t dl = top_k(config_.download_fraction);
-        std::iota(order.begin(), order.end(), std::size_t{0});
-        std::nth_element(order.begin(),
-                         order.begin() + static_cast<std::ptrdiff_t>(dl - 1),
-                         order.end(), [&](std::size_t a, std::size_t b) {
-                           return v0[a] - seen[a] > v0[b] - seen[b];
-                         });
-        for (std::size_t j = 0; j < dl; ++j) {
-          const std::size_t i = order[j];
-          local[i] = g0[i];
-          seen[i] = v0[i];
-        }
-      }
-
-      // -- Local training -------------------------------------------------
-      nn::Sequential& worker = *client_workers_[c];
+    parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
+      nn::Sequential& worker = *client_workers_[s];
       const auto worker_params = worker.parameters();
-      nn::unflatten_into_values(local, worker_params);
-      client_loss[c] =
-          local_sgd(worker, shards_[k], config_.local_epochs,
-                    config_.batch_size, config_.lr, client_rngs[c]);
-      const std::vector<float> after = nn::flatten_values(worker_params);
+      data::TabularDataset& scratch = shard_scratch_[s];
+      std::vector<std::size_t> order(p_count);
+      for (std::size_t c = chunks[s].begin; c < chunks[s].end; ++c) {
+        MDL_OBS_SPAN_T("participant_update",
+                       obs::track_round_client(round, active[c]));
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t k = active[c];
+        std::vector<float>& local = locals_[k];
+        std::uint32_t* seen = seen_version_.data() + k * p_count;
 
-      // -- Upload selection: theta_u largest |accumulated gradient| -------
-      if (accepted[c]) {
-        std::vector<float> delta(p_count);
-        for (std::size_t i = 0; i < p_count; ++i)
-          delta[i] = after[i] - local[i];
-        const std::size_t ul = top_k(config_.upload_fraction);
-        std::iota(order.begin(), order.end(), std::size_t{0});
-        std::nth_element(order.begin(),
-                         order.begin() + static_cast<std::ptrdiff_t>(ul - 1),
-                         order.end(), [&](std::size_t a, std::size_t b) {
-                           return std::abs(delta[a]) > std::abs(delta[b]);
-                         });
-        uploads[c].reserve(ul);
-        for (std::size_t j = 0; j < ul; ++j) {
-          const auto i = static_cast<std::uint32_t>(order[j]);
-          uploads[c].emplace_back(i, delta[i]);
+        // -- Download: theta_d fraction of the most-stale coordinates -----
+        if (config_.download_fraction >= 1.0) {
+          for (std::size_t i = 0; i < p_count; ++i) {
+            local[i] = g0[i];
+            seen[i] = v0[i];
+          }
+        } else {
+          const std::size_t dl = top_k(config_.download_fraction);
+          std::iota(order.begin(), order.end(), std::size_t{0});
+          std::nth_element(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(dl - 1),
+                           order.end(), [&](std::size_t a, std::size_t b) {
+                             return v0[a] - seen[a] > v0[b] - seen[b];
+                           });
+          for (std::size_t j = 0; j < dl; ++j) {
+            const std::size_t i = order[j];
+            local[i] = g0[i];
+            seen[i] = v0[i];
+          }
         }
-      }
 
-      local = after;  // the replica keeps all of its own progress
-      client_us[c] = std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+        // -- Local training -----------------------------------------------
+        nn::unflatten_into_values(local, worker_params);
+        client_loss[c] =
+            local_sgd(worker, population_->shard(k, scratch),
+                      config_.local_epochs, config_.batch_size, config_.lr,
+                      client_rngs[c]);
+        const std::vector<float> after = nn::flatten_values(worker_params);
+
+        // -- Upload selection: theta_u largest |accumulated gradient| -----
+        if (accepted[c]) {
+          std::vector<float> delta(p_count);
+          for (std::size_t i = 0; i < p_count; ++i)
+            delta[i] = after[i] - local[i];
+          const std::size_t ul = top_k(config_.upload_fraction);
+          std::iota(order.begin(), order.end(), std::size_t{0});
+          std::nth_element(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(ul - 1),
+                           order.end(), [&](std::size_t a, std::size_t b) {
+                             return std::abs(delta[a]) > std::abs(delta[b]);
+                           });
+          uploads[c].reserve(ul);
+          for (std::size_t j = 0; j < ul; ++j) {
+            const auto i = static_cast<std::uint32_t>(order[j]);
+            uploads[c].emplace_back(i, delta[i]);
+          }
+        }
+
+        local = after;  // the replica keeps all of its own progress
+        client_us[c] = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      }
     });
 
     // Merge (sequential, fixed participant order): accepted uploads land on
@@ -285,7 +318,7 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
                          : 0.0;
     stats.test_accuracy = evaluate_accuracy(*eval_model_, test);
     stats.cumulative_bytes = ledger_.total();
-    stats.clients_selected = static_cast<std::int64_t>(shards_.size());
+    stats.clients_selected = static_cast<std::int64_t>(population_->size());
     if (net_ != nullptr) {
       stats.clients_delivered = report.delivered;
       stats.dropouts = report.dropouts;
@@ -296,7 +329,7 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
       stats.sim_latency_s = report.round_latency_s;
       stats.sim_energy_j = report.device_energy_j;
     } else {
-      stats.clients_delivered = static_cast<std::int64_t>(shards_.size());
+      stats.clients_delivered = static_cast<std::int64_t>(population_->size());
     }
 
     // Health gate over the server vector; rounds where nobody participated

@@ -11,6 +11,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
+#include "federated/population.hpp"
 
 namespace mdl::federated {
 
@@ -38,6 +39,16 @@ struct SelectiveSGDConfig {
 /// snapshot semantics admit parallel clients — see DESIGN.md.)
 class SelectiveSGDTrainer {
  public:
+  /// Primary form: any ClientPopulation. Note the scheme itself keeps one
+  /// replica + sync vector per participant (everyone trains every round),
+  /// so trainer state is inherently O(N x model) — the population
+  /// abstraction virtualizes the *data* (shards are generated on demand
+  /// into per-chunk scratches), not the replicas. Selective SGD is a
+  /// tens-to-hundreds-of-participants scheme; FedAvg is the 1M-client one.
+  SelectiveSGDTrainer(ModelFactory factory,
+                      std::shared_ptr<const ClientPopulation> population,
+                      SelectiveSGDConfig config);
+  /// Historical form: wraps the shard vector in a MaterializedPopulation.
   SelectiveSGDTrainer(ModelFactory factory,
                       std::vector<data::TabularDataset> shards,
                       SelectiveSGDConfig config);
@@ -61,6 +72,9 @@ class SelectiveSGDTrainer {
   /// The server's flat parameter vector (bit-exact state, e.g. for the
   /// cross-thread-count determinism tests).
   const std::vector<float>& global_parameters() const { return global_; }
+  /// Workspace models currently allocated — capped at the chunk count,
+  /// never the participant count.
+  std::size_t worker_pool_size() const { return client_workers_.size(); }
 
  private:
   /// Complete run state: seed guards, current LR, RNG, the server's
@@ -69,17 +83,21 @@ class SelectiveSGDTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
-  /// Grows the per-participant workspace pool (throwaway-RNG models whose
-  /// weights are overwritten before use; rng_ stream untouched).
+  /// Grows the per-chunk workspace pool (throwaway-RNG models whose
+  /// weights are overwritten before use; rng_ stream untouched). Capped at
+  /// the chunk count — participants within a chunk train sequentially and
+  /// reuse the slot.
   void ensure_client_workers(std::size_t n);
 
   ModelFactory factory_;
-  std::vector<data::TabularDataset> shards_;
+  std::shared_ptr<const ClientPopulation> population_;
   SelectiveSGDConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> eval_model_;  ///< workspace for evaluation
   /// Isolated workspaces for the parallel local-training pass.
   std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
+  /// Per-chunk scratch datasets for virtual-population shard generation.
+  std::vector<data::TabularDataset> shard_scratch_;
   std::vector<float> global_;                   ///< server parameter vector
   std::vector<std::uint32_t> version_;          ///< per-coordinate update count
   std::vector<std::vector<float>> locals_;      ///< per-participant replicas

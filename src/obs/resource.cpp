@@ -1,0 +1,55 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mdl::obs {
+
+namespace {
+
+/// Reads a "VmRSS:  1234 kB"-style line from /proc/self/status. Returns 0
+/// when the field (or the file) is unavailable.
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0) continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + key_len, ": %llu", &value) == 1) kb = value;
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+std::uint64_t rusage_max_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() {
+  const std::uint64_t hwm = proc_status_kb("VmHWM") * 1024;
+  return hwm != 0 ? hwm : rusage_max_rss_bytes();
+}
+
+}  // namespace mdl::obs

@@ -1,0 +1,23 @@
+// Process resource probes: resident-set size, current and peak.
+//
+// The virtual-population work (ISSUE 9) claims O(cohort) memory for
+// million-client federated sweeps; these probes are how the claim is
+// *measured* — the trainers export `fedavg.peak_rss_bytes` every round and
+// the benches stamp rss fields into their JSONL records.
+#pragma once
+
+#include <cstdint>
+
+namespace mdl::obs {
+
+/// Current resident-set size in bytes (Linux: VmRSS from /proc/self/status;
+/// elsewhere: 0 — callers treat 0 as "unavailable").
+std::uint64_t current_rss_bytes();
+
+/// High-water-mark resident-set size in bytes (Linux: VmHWM, falling back
+/// to getrusage's ru_maxrss; elsewhere: getrusage only). Monotone over the
+/// process lifetime, so sweep legs must run low-memory configs first if
+/// they want per-leg peaks to be meaningful.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace mdl::obs

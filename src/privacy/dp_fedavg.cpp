@@ -13,7 +13,8 @@
 namespace mdl::privacy {
 
 namespace {
-constexpr std::uint32_t kDpFedAvgStateVersion = 1;
+// v2 appended the population fingerprint; v1 archives resume unguarded.
+constexpr std::uint32_t kDpFedAvgStateVersion = 2;
 }
 
 void DpFedAvgTrainer::save_state(BinaryWriter& w) const {
@@ -25,10 +26,12 @@ void DpFedAvgTrainer::save_state(BinaryWriter& w) const {
   rng_.serialize(w);
   w.write_f32_vector(nn::flatten_values(global_->parameters()));
   accountant_.serialize(w);
+  w.write_u64(population_->fingerprint());
 }
 
 void DpFedAvgTrainer::load_state(BinaryReader& r) {
-  ckpt::read_state_header(r, "dp_fedavg", kDpFedAvgStateVersion);
+  const std::uint32_t stored =
+      ckpt::read_state_header(r, "dp_fedavg", kDpFedAvgStateVersion);
   const std::uint64_t seed = r.read_u64();
   MDL_CHECK(seed == config_.seed, "checkpoint was written with seed "
                                       << seed << ", run uses "
@@ -52,24 +55,43 @@ void DpFedAvgTrainer::load_state(BinaryReader& r) {
                                     << nn::total_size(params));
   nn::unflatten_into_values(w_global, params);
   accountant_ = MomentsAccountant::deserialize(r);
+  if (stored >= 2) {
+    const std::uint64_t fp = r.read_u64();
+    MDL_CHECK(fp == population_->fingerprint(),
+              "checkpoint population fingerprint "
+                  << fp << " vs " << population_->fingerprint()
+                  << " — resumed against a different client population");
+  }
 }
 
-DpFedAvgTrainer::DpFedAvgTrainer(federated::ModelFactory factory,
-                                 std::vector<data::TabularDataset> shards,
-                                 DpFedAvgConfig config)
+DpFedAvgTrainer::DpFedAvgTrainer(
+    federated::ModelFactory factory,
+    std::shared_ptr<const federated::ClientPopulation> population,
+    DpFedAvgConfig config)
     : factory_(std::move(factory)),
-      shards_(std::move(shards)),
+      population_(std::move(population)),
       config_(config),
       rng_(config.seed) {
-  MDL_CHECK(!shards_.empty(), "need at least one client shard");
+  MDL_CHECK(population_ != nullptr && population_->size() > 0,
+            "need at least one client shard");
   MDL_CHECK(config_.client_sample_prob > 0.0 &&
                 config_.client_sample_prob <= 1.0,
             "client sample probability must be in (0, 1]");
   MDL_CHECK(config_.clip_norm > 0.0, "clip norm must be positive");
   MDL_CHECK(config_.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
+  MDL_CHECK(config_.agg_shards > 0, "agg_shards must be positive");
   global_ = factory_(rng_);
   client_workers_.push_back(factory_(rng_));
+  shard_scratch_.resize(1);
 }
+
+DpFedAvgTrainer::DpFedAvgTrainer(federated::ModelFactory factory,
+                                 std::vector<data::TabularDataset> shards,
+                                 DpFedAvgConfig config)
+    : DpFedAvgTrainer(std::move(factory),
+                      std::make_shared<federated::MaterializedPopulation>(
+                          std::move(shards)),
+                      config) {}
 
 void DpFedAvgTrainer::ensure_client_workers(std::size_t n) {
   while (client_workers_.size() < n) {
@@ -77,6 +99,7 @@ void DpFedAvgTrainer::ensure_client_workers(std::size_t n) {
                                 (client_workers_.size() + 1)));
     client_workers_.push_back(factory_(scratch));
   }
+  if (shard_scratch_.size() < n) shard_scratch_.resize(n);
 }
 
 std::vector<DpRoundStats> DpFedAvgTrainer::run(
@@ -85,7 +108,7 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
   const std::size_t p_count =
       static_cast<std::size_t>(nn::total_size(global_params));
   const double expected_cohort =
-      config_.client_sample_prob * static_cast<double>(shards_.size());
+      config_.client_sample_prob * static_cast<double>(population_->size());
 
   std::vector<DpRoundStats> history;
   history.reserve(static_cast<std::size_t>(config_.rounds));
@@ -116,9 +139,9 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
       // updates just shrink the realized cohort — the fixed-denominator
       // estimator keeps the sensitivity bound, so no DP correction is
       // needed.
-      std::vector<std::size_t> sampled;
-      for (std::size_t k = 0; k < shards_.size(); ++k)
-        if (rng_.bernoulli(config_.client_sample_prob)) sampled.push_back(k);
+      const std::vector<std::size_t> sampled = federated::
+          sample_bernoulli_cohort(rng_, population_->size(),
+                                  config_.client_sample_prob);
       const std::uint64_t model_bytes =
           static_cast<std::uint64_t>(p_count) * 4;
       const sim::RoundReport report =
@@ -134,47 +157,59 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
             client_rngs.push_back(rng_.fork());
           }
     } else {
-      for (std::size_t k = 0; k < shards_.size(); ++k) {
-        if (!rng_.bernoulli(config_.client_sample_prob)) continue;
-        ++stats.clients_selected;
-        participants.push_back(k);
+      participants = federated::sample_bernoulli_cohort(
+          rng_, population_->size(), config_.client_sample_prob);
+      stats.clients_selected = static_cast<std::int64_t>(participants.size());
+      client_rngs.reserve(participants.size());
+      for (std::size_t c = 0; c < participants.size(); ++c)
         client_rngs.push_back(rng_.fork());
-      }
       stats.clients_delivered = stats.clients_selected;
     }
 
-    // Parallel phase: each participant trains from w_global in its own
-    // workspace and clips its update to S (modification 2). The clipped
-    // updates are summed afterwards in fixed participant order, so the
-    // aggregate is bit-identical at every thread count.
+    // Parallel phase: participants are partitioned into
+    // min(cohort, agg_shards) contiguous chunks; each chunk trains its
+    // clients sequentially in a reused workspace, clipping every update to
+    // S (modification 2) and streaming it into a private double
+    // accumulator. Chunk accumulators reduce in fixed order after the
+    // join, so the aggregate is bit-identical at every thread count (and
+    // to the sequential sum whenever cohort <= agg_shards).
     const std::size_t n_clients = participants.size();
-    ensure_client_workers(n_clients);
+    const std::vector<federated::ChunkRange> chunks = federated::chunk_ranges(
+        n_clients, static_cast<std::size_t>(config_.agg_shards));
+    ensure_client_workers(chunks.size());
     std::vector<double> client_loss(n_clients, 0.0);
-    std::vector<std::vector<float>> updates(n_clients);
     std::vector<double> client_us(n_clients, 0.0);
-    parallel_for(shared_pool(), n_clients, [&](std::size_t c) {
-      MDL_OBS_SPAN_T("client_update",
-                     obs::track_round_client(round, participants[c]));
-      const auto t0 = std::chrono::steady_clock::now();
-      nn::Sequential& worker = *client_workers_[c];
+    std::vector<std::vector<double>> chunk_acc(chunks.size());
+    parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
+      nn::Sequential& worker = *client_workers_[s];
       const auto worker_params = worker.parameters();
-      nn::unflatten_into_values(w_global, worker_params);
-      client_loss[c] = federated::local_sgd(
-          worker, shards_[participants[c]], config_.local_epochs,
-          config_.batch_size, config_.client_lr, client_rngs[c]);
-      std::vector<float> update = nn::flatten_values(worker_params);
-      for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
-      nn::clip_l2(update, config_.clip_norm);  // modification 2
-      updates[c] = std::move(update);
-      client_us[c] = std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+      data::TabularDataset& scratch = shard_scratch_[s];
+      std::vector<double>& acc = chunk_acc[s];
+      acc.assign(p_count, 0.0);
+      for (std::size_t c = chunks[s].begin; c < chunks[s].end; ++c) {
+        MDL_OBS_SPAN_T("client_update",
+                       obs::track_round_client(round, participants[c]));
+        const auto t0 = std::chrono::steady_clock::now();
+        nn::unflatten_into_values(w_global, worker_params);
+        client_loss[c] = federated::local_sgd(
+            worker, population_->shard(participants[c], scratch),
+            config_.local_epochs, config_.batch_size, config_.client_lr,
+            client_rngs[c]);
+        std::vector<float> update = nn::flatten_values(worker_params);
+        for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
+        nn::clip_l2(update, config_.clip_norm);  // modification 2
+        for (std::size_t i = 0; i < p_count; ++i)
+          acc[i] += static_cast<double>(update[i]);
+        client_us[c] = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      }
     });
+    for (const std::vector<double>& acc : chunk_acc)
+      for (std::size_t i = 0; i < acc.size(); ++i) update_sum[i] += acc[i];
     for (std::size_t c = 0; c < n_clients; ++c) {
       round_loss += client_loss[c];
       ++clients_run;
-      for (std::size_t i = 0; i < p_count; ++i)
-        update_sum[i] += static_cast<double>(updates[c][i]);
       MDL_OBS_HISTOGRAM_OBSERVE("dp_fedavg.client_us", client_us[c]);
     }
 

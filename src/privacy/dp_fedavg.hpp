@@ -16,6 +16,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "federated/common.hpp"
+#include "federated/population.hpp"
 #include "privacy/accountant.hpp"
 
 namespace mdl::privacy {
@@ -30,6 +31,11 @@ struct DpFedAvgConfig {
   double noise_multiplier = 1.0;    ///< z
   double delta = 1e-5;
   std::uint64_t seed = 19;
+  /// Streaming-aggregation shard count (see FedAvgConfig::agg_shards): the
+  /// realized cohort folds clipped updates into min(cohort, agg_shards)
+  /// chunk accumulators reduced in fixed order — bit-identical across
+  /// thread counts, and to the sequential sum when cohort <= agg_shards.
+  std::int64_t agg_shards = 16;
   /// Crash-safe checkpointing + health rollback (ckpt::TrainerGuard). The
   /// checkpoint carries the moments accountant, so a resumed run keeps the
   /// spent privacy budget.
@@ -52,6 +58,12 @@ struct DpRoundStats {
 /// Parameter server with user-level DP aggregation.
 class DpFedAvgTrainer {
  public:
+  /// Primary form: any ClientPopulation (materialized or virtual); per-round
+  /// memory is O(realized cohort), independent of the population size.
+  DpFedAvgTrainer(federated::ModelFactory factory,
+                  std::shared_ptr<const federated::ClientPopulation> population,
+                  DpFedAvgConfig config);
+  /// Historical form: wraps the shard vector in a MaterializedPopulation.
   DpFedAvgTrainer(federated::ModelFactory factory,
                   std::vector<data::TabularDataset> shards,
                   DpFedAvgConfig config);
@@ -67,6 +79,9 @@ class DpFedAvgTrainer {
 
   nn::Sequential& global_model() { return *global_; }
   const MomentsAccountant& accountant() const { return accountant_; }
+  /// Workspace models currently allocated — capped at
+  /// min(cohort, agg_shards), never the population size.
+  std::size_t worker_pool_size() const { return client_workers_.size(); }
 
  private:
   /// Complete run state: seed guards, current client LR, RNG, flattened
@@ -74,17 +89,19 @@ class DpFedAvgTrainer {
   void save_state(BinaryWriter& w) const;
   void load_state(BinaryReader& r);
 
-  /// Grows the per-client workspace pool (throwaway-RNG models whose
+  /// Grows the per-chunk workspace pool (throwaway-RNG models whose
   /// weights are overwritten before use; rng_ stream untouched).
   void ensure_client_workers(std::size_t n);
 
   federated::ModelFactory factory_;
-  std::vector<data::TabularDataset> shards_;
+  std::shared_ptr<const federated::ClientPopulation> population_;
   DpFedAvgConfig config_;
   Rng rng_;
   std::unique_ptr<nn::Sequential> global_;
-  /// Isolated workspaces for the parallel local-training pass.
+  /// Per-chunk workspaces for the parallel local-training pass.
   std::vector<std::unique_ptr<nn::Sequential>> client_workers_;
+  /// Per-chunk scratch datasets for virtual-population shard generation.
+  std::vector<data::TabularDataset> shard_scratch_;
   MomentsAccountant accountant_;
   sim::SimNetwork* net_ = nullptr;
 };

@@ -5,9 +5,13 @@
 //
 //   ckpt_resume_runner --checkpoint-dir <dir> --out <file>
 //                      [--resume] [--rounds N] [--seed S] [--sleep-ms M]
+//                      [--virtual N]
 //
 // --sleep-ms pauses after every completed round (checkpoint already on
 // disk), giving the parent test a window to SIGKILL the process mid-run.
+// --virtual N swaps the materialized 4-shard partition for an N-client
+// VirtualPopulation (population seed = --seed), so the kill-and-resume
+// bit-identity contract is exercised on the O(cohort) path too.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -20,6 +24,7 @@
 #include "core/random.hpp"
 #include "data/synthetic.hpp"
 #include "federated/fedavg.hpp"
+#include "federated/population.hpp"
 #include "nn/param_utils.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
   std::int64_t rounds = 6;
   std::uint64_t seed = 17;
   std::int64_t sleep_ms = 0;
+  std::uint64_t virtual_clients = 0;  // 0 = materialized 4-shard partition
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--checkpoint-dir" && i + 1 < argc) ckpt_dir = argv[++i];
@@ -40,6 +46,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
     else if (arg == "--sleep-ms" && i + 1 < argc)
       sleep_ms = std::stoll(argv[++i]);
+    else if (arg == "--virtual" && i + 1 < argc)
+      virtual_clients = std::stoull(argv[++i]);
     else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 2;
@@ -50,16 +58,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Deterministic workload: everything below depends only on --seed.
-  Rng data_rng(1);
-  data::SyntheticConfig sc;
-  sc.num_samples = 400;
-  sc.num_features = 8;
-  sc.num_classes = 3;
-  sc.class_sep = 2.5;
-  const auto dataset = data::make_classification(sc, data_rng);
-  const auto split = data::train_test_split(dataset, 0.25, data_rng);
-  const auto shards = data::partition_dirichlet(split.train, 4, 0.5, data_rng);
+  // Deterministic workload: everything below depends only on --seed (and
+  // --virtual). Both paths share the 8-feature / 3-class task shape.
+  std::shared_ptr<const federated::ClientPopulation> population;
+  data::TabularDataset test;
+  if (virtual_clients > 0) {
+    federated::VirtualPopulationConfig vc;
+    vc.population_seed = seed;
+    vc.num_clients = virtual_clients;
+    vc.num_features = 8;
+    vc.num_classes = 3;
+    vc.class_sep = 2.5;
+    vc.min_examples = 8;
+    vc.max_examples = 32;
+    vc.label_skew_alpha = 0.5;
+    const auto vp = std::make_shared<federated::VirtualPopulation>(vc);
+    test = vp->test_set(100);
+    population = vp;
+  } else {
+    Rng data_rng(1);
+    data::SyntheticConfig sc;
+    sc.num_samples = 400;
+    sc.num_features = 8;
+    sc.num_classes = 3;
+    sc.class_sep = 2.5;
+    const auto dataset = data::make_classification(sc, data_rng);
+    auto split = data::train_test_split(dataset, 0.25, data_rng);
+    population = std::make_shared<federated::MaterializedPopulation>(
+        data::partition_dirichlet(split.train, 4, 0.5, data_rng));
+    test = std::move(split.test);
+  }
 
   federated::FedAvgConfig cfg;
   cfg.rounds = rounds;
@@ -77,9 +105,9 @@ int main(int argc, char** argv) {
     };
   }
 
-  federated::FedAvgTrainer trainer(federated::mlp_factory(8, 8, 3), shards,
+  federated::FedAvgTrainer trainer(federated::mlp_factory(8, 8, 3), population,
                                    cfg);
-  trainer.run(split.test);
+  trainer.run(test);
 
   const std::vector<float> w =
       nn::flatten_values(trainer.global_model().parameters());

@@ -90,7 +90,9 @@ TEST_F(FedFixture, InvalidConfigThrows) {
   FedAvgConfig cfg;
   cfg.clients_per_round = 100;  // more than shards
   EXPECT_THROW(FedAvgTrainer(factory, shards, cfg), Error);
-  EXPECT_THROW(FedAvgTrainer(factory, {}, FedAvgConfig{}), Error);
+  EXPECT_THROW(FedAvgTrainer(factory, std::vector<data::TabularDataset>{},
+                              FedAvgConfig{}),
+               Error);
 }
 
 TEST_F(FedFixture, SelectiveSgdLearnsWithPartialUpload) {

@@ -30,7 +30,9 @@
 namespace mdl {
 namespace {
 
-const char* const kIgnoredKeys[] = {"wall_s", "wall_s_per_round", "threads"};
+// rss fields are machine-dependent resident-set sizes (bench::add_rss).
+const char* const kIgnoredKeys[] = {"wall_s", "wall_s_per_round", "threads",
+                                    "rss_bytes", "peak_rss_bytes"};
 
 bool ignored_key(const std::string& key) {
   for (const char* k : kIgnoredKeys)
