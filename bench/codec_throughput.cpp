@@ -1,0 +1,188 @@
+// E16 — entropy-codec throughput and ratio on every byte stream the repo
+// actually moves: selective-SGD top-k uploads and DP-clipped deltas
+// (through the QuantizedWireCodec shim, floats in -> wire bytes out),
+// checkpoint payloads and Deep-Compression quantization indices (raw byte
+// streams through BlockCodec), plus the two calibration extremes (all
+// zeros, uniform random). Emits one "codec" JSONL record per family with
+// the compression ratio and encode/decode MB/s.
+//
+// Sizes and repetitions scale down under MDL_QUICK; the ratios are
+// deterministic in the fixed seeds, the MB/s columns are wall-clock.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compress/codec.hpp"
+#include "compress/wire.hpp"
+#include "core/random.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+using namespace mdl;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double mbps(std::uint64_t bytes, int reps, double secs) {
+  return static_cast<double>(bytes) * reps / (secs * 1e6);
+}
+
+struct FamilyResult {
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t encoded_bytes = 0;
+  double encode_mbps = 0.0;
+  double decode_mbps = 0.0;
+};
+
+/// Times BlockCodec on one raw byte stream.
+FamilyResult run_block(const compress::BlockCodec& codec,
+                       const std::vector<std::uint8_t>& raw, int reps) {
+  FamilyResult r;
+  r.raw_bytes = raw.size();
+  std::vector<std::uint8_t> enc;
+  auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) enc = codec.encode(raw);
+  r.encode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+  r.encoded_bytes = enc.size();
+  std::vector<std::uint8_t> dec;
+  t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) dec = compress::BlockCodec::decode(enc);
+  r.decode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+  if (dec != raw) {
+    std::cerr << "error: codec round-trip mismatch\n";
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E16", "mdl::compress::BlockCodec throughput",
+                "Compression ratio and encode/decode MB/s on the byte "
+                "streams the repo moves:\nfederated uploads, checkpoint "
+                "payloads, quantization indices.");
+  bench::init_logging(argc, argv);
+
+  const std::uint64_t n_floats =
+      static_cast<std::uint64_t>(bench::scaled(1 << 20, 1 << 16));
+  const int reps = static_cast<int>(bench::scaled(16, 3));
+  const compress::BlockCodec codec;
+  const compress::QuantizedWireCodec wire;
+
+  TablePrinter table({"family", "raw", "encoded", "ratio", "enc MB/s",
+                      "dec MB/s"});
+  const auto report = [&](const char* family, const FamilyResult& r) {
+    const double ratio =
+        static_cast<double>(r.raw_bytes) / static_cast<double>(r.encoded_bytes);
+    table.begin_row()
+        .add(family)
+        .add(format_bytes(r.raw_bytes))
+        .add(format_bytes(r.encoded_bytes))
+        .add(ratio, 2)
+        .add(r.encode_mbps, 1)
+        .add(r.decode_mbps, 1);
+    bench::log(bench::record("codec")
+                   .add("family", family)
+                   .add("raw_bytes", r.raw_bytes)
+                   .add("encoded_bytes", r.encoded_bytes)
+                   .add("compression_ratio", ratio)
+                   .add("encode_mbps", r.encode_mbps)
+                   .add("decode_mbps", r.decode_mbps)
+                   .add("reps", static_cast<std::int64_t>(reps)));
+  };
+
+  // --- Wire-shim families: floats in, wire bytes out ----------------------
+  // Selective-SGD top-k upload: 1% of a Gaussian gradient, sorted indices.
+  {
+    Rng rng(101);
+    std::vector<std::pair<std::uint32_t, float>> coords;
+    const std::uint64_t k = n_floats / 100;
+    const std::uint64_t stride = n_floats / k;
+    for (std::uint64_t i = 0; i < k; ++i)
+      coords.emplace_back(
+          static_cast<std::uint32_t>(i * stride +
+                                     rng.uniform_int(static_cast<int>(stride))),
+          static_cast<float>(rng.normal() * 0.1));
+    FamilyResult r;
+    r.raw_bytes = k * 8;  // u32 index + f32 value per coordinate
+    std::vector<std::uint8_t> enc;
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) enc = wire.encode_sparse(coords);
+    r.encode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+    r.encoded_bytes = enc.size();
+    t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+      (void)compress::QuantizedWireCodec::decode_sparse(enc);
+    r.decode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+    report("topk_upload", r);
+  }
+
+  // DP-clipped dense delta: small Gaussian floats, the post-clip shape.
+  {
+    Rng rng(102);
+    std::vector<float> delta(n_floats / 4);
+    for (float& v : delta) v = static_cast<float>(rng.normal() * 0.05);
+    FamilyResult r;
+    r.raw_bytes = delta.size() * 4;
+    std::vector<std::uint8_t> enc;
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) enc = wire.encode_dense(delta);
+    r.encode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+    r.encoded_bytes = enc.size();
+    t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+      (void)compress::QuantizedWireCodec::decode_dense(enc);
+    r.decode_mbps = mbps(r.raw_bytes, reps, seconds_since(t0));
+    report("dp_delta", r);
+  }
+
+  // --- Raw byte-stream families through BlockCodec ------------------------
+  // Checkpoint payload: float32 weights ~ N(0, 0.1) — near-uniform
+  // mantissas, skewed sign/exponent bytes.
+  {
+    Rng rng(103);
+    std::vector<std::uint8_t> raw(n_floats);
+    for (std::size_t i = 0; i + 4 <= raw.size(); i += 4) {
+      const float v = static_cast<float>(rng.normal() * 0.1);
+      std::memcpy(raw.data() + i, &v, 4);
+    }
+    report("ckpt_payload", run_block(codec, raw, reps));
+  }
+
+  // Deep-Compression quantization indices: 80% pruned zeros (reserved
+  // index 0), the rest a 4-bit codebook.
+  {
+    Rng rng(104);
+    std::vector<std::uint8_t> raw(n_floats);
+    for (auto& b : raw)
+      b = rng.uniform() < 0.8
+              ? 0
+              : static_cast<std::uint8_t>(1 + rng.uniform_int(15));
+    report("quant_indices", run_block(codec, raw, reps));
+  }
+
+  // Calibration extremes.
+  {
+    report("all_zero",
+           run_block(codec, std::vector<std::uint8_t>(n_floats, 0), reps));
+    Rng rng(105);
+    std::vector<std::uint8_t> raw(n_floats);
+    for (auto& b : raw) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    report("uniform_random", run_block(codec, raw, reps));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nShape targets: all_zero compresses by orders of magnitude "
+               "and uniform_random\ncosts only the stored-block framing; "
+               "every real family lands in between, with\nquant_indices "
+               "and topk_upload well above 2x.\n";
+  bench::log_metrics_snapshot();
+  return 0;
+}

@@ -6,12 +6,15 @@
 // Shape targets: (1) noisy training recovers most of the accuracy the
 // perturbation costs ("not only preserve users privacy but also improve
 // the inference performance"); (2) representation bytes < raw bytes.
+#include <cmath>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "compress/wire.hpp"
 #include "core/table.hpp"
 #include "data/synthetic.hpp"
 #include "federated/common.hpp"
+#include "mobile/cost_model.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "split/reconstruction.hpp"
@@ -140,6 +143,112 @@ int main(int argc, char** argv) {
                "attacker's reconstruction error (1.0 = learned\nnothing) "
                "rises with the perturbation — the privacy/utility dial of "
                "Fig. 3.\n";
+
+  // ---- Split-upload pricing: raw vs entropy-coded representation ---------
+  // What the phone actually ships per query is the perturbed representation
+  // — nullification zeroes a fraction of its coordinates, which is exactly
+  // the zero-run shape BlockCodec exploits. Price both encodings of the
+  // same uplink through the InferencePlanner across three radios.
+  std::cout << "\nSplit-upload pricing: perturbed representation raw vs "
+               "int8+BlockCodec,\nthrough mobile::InferencePlanner "
+               "(phone SoC -> cloud server)\n\n";
+  {
+    Rng net_rng(7);
+    auto whole = make_network(net_rng);
+    Rng pre_rng(13);
+    federated::local_sgd(*whole, split_ds.train, epochs, 32, 0.1, pre_rng);
+    split::SplitInference sys =
+        split::SplitInference::from_whole(std::move(whole), 2);
+
+    split::PerturbConfig pc;
+    pc.nullification_rate = 0.2;
+    pc.laplace_scale = 0.4;
+    pc.clip_bound = 1.0;
+
+    // Mean per-query uplink over a fixed probe batch of test rows, encoded
+    // exactly as the wire shim would encode a dense federated payload.
+    const compress::QuantizedWireCodec wire;
+    const std::int64_t probe_n =
+        std::min<std::int64_t>(64, split_ds.test.size());
+    Rng perturb_rng(900);
+    const Tensor reps = sys.perturb(
+        sys.local_infer(split_ds.test.features.slice_rows(0, probe_n)), pc,
+        perturb_rng);
+    const std::int64_t rep_dim = reps.shape(1);
+    std::uint64_t coded_total = 0;
+    for (std::int64_t i = 0; i < probe_n; ++i) {
+      const auto row = reps.flat().subspan(
+          static_cast<std::size_t>(i * rep_dim),
+          static_cast<std::size_t>(rep_dim));
+      coded_total += wire.dense_wire_bytes(row);
+    }
+    const std::uint64_t rep_raw = static_cast<std::uint64_t>(rep_dim) * 4;
+    const std::uint64_t rep_coded =
+        (coded_total + static_cast<std::uint64_t>(probe_n) - 1) /
+        static_cast<std::uint64_t>(probe_n);
+    // Steady-state sessions amortize the per-stream framing: one codec
+    // stream over the whole probe batch, divided back per query.
+    const std::uint64_t session_bytes =
+        wire.dense_wire_bytes(reps.flat().subspan(
+            0, static_cast<std::size_t>(probe_n * rep_dim)));
+    const std::uint64_t rep_amortized =
+        (session_bytes + static_cast<std::uint64_t>(probe_n) - 1) /
+        static_cast<std::uint64_t>(probe_n);
+    const std::int64_t local_flops = sys.local().flops_per_example();
+    const std::int64_t cloud_flops = sys.cloud().flops_per_example();
+    const std::uint64_t out_bytes = 5 * 4;
+
+    TablePrinter price({"network", "rep raw", "rep coded", "ratio",
+                        "latency raw (ms)", "latency coded (ms)",
+                        "energy coded (mJ)"});
+    struct Radio {
+      const char* name;
+      mobile::NetworkModel model;
+    };
+    for (const Radio radio : {Radio{"wifi", mobile::NetworkModel::wifi()},
+                              Radio{"lte", mobile::NetworkModel::lte()},
+                              Radio{"3g", mobile::NetworkModel::cellular_3g()}}) {
+      mobile::InferencePlanner planner(mobile::DeviceProfile::mobile_soc(),
+                                       mobile::DeviceProfile::cloud_server(),
+                                       radio.model);
+      const auto raw_cost =
+          planner.split(local_flops, rep_raw, cloud_flops, out_bytes);
+      const auto coded_cost =
+          planner.split(local_flops, rep_coded, cloud_flops, out_bytes);
+      price.begin_row()
+          .add(radio.name)
+          .add(format_bytes(rep_raw))
+          .add(format_bytes(rep_coded))
+          .add(static_cast<double>(rep_raw) / static_cast<double>(rep_coded),
+               2)
+          .add(raw_cost.latency_s * 1e3, 2)
+          .add(coded_cost.latency_s * 1e3, 2)
+          .add(coded_cost.device_energy_j * 1e3, 2);
+      bench::log(bench::record("split_pricing")
+                     .add("network", radio.name)
+                     .add("rep_bytes_raw", rep_raw)
+                     .add("rep_bytes_coded", rep_coded)
+                     .add("rep_bytes_coded_amortized", rep_amortized)
+                     .add("compression_ratio",
+                          static_cast<double>(rep_raw) /
+                              static_cast<double>(rep_coded))
+                     .add("latency_raw_s", raw_cost.latency_s)
+                     .add("latency_coded_s", coded_cost.latency_s)
+                     .add("device_energy_raw_j", raw_cost.device_energy_j)
+                     .add("device_energy_coded_j",
+                          coded_cost.device_energy_j));
+    }
+    price.print(std::cout);
+    std::cout << "\nPer-stream framing dominates a single " << rep_dim
+              << "-float query; a steady-state session\namortizes it to "
+              << rep_amortized << " B/query ("
+              << std::round(10.0 * static_cast<double>(rep_raw) /
+                            static_cast<double>(rep_amortized)) /
+                     10.0
+              << "x vs raw).\nShape target: the coded representation is "
+                 "smaller than raw on every radio, and\nthe saving matters "
+                 "most on the slowest uplink (3G).\n";
+  }
   bench::log_metrics_snapshot();
   return 0;
 }

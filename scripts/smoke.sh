@@ -51,6 +51,7 @@ BENCHES=(
   tab_mobile_inference
   serve_throughput
   trace_overhead
+  codec_throughput
 )
 for bench in "${BENCHES[@]}"; do
   echo "=== $bench (MDL_QUICK=1) ==="
@@ -138,6 +139,36 @@ wait "$RUNNER_PID" || true
 cmp "$VCKPT_ROOT/ref.bin" "$VCKPT_ROOT/resumed.bin"
 echo "kill-and-resume OK: virtual-population resume byte-identical"
 
+# Same contract again with BlockCodec-compressed (format v2) checkpoints:
+# the kill lands between a compressed save and the finish, and the resume
+# decodes the v2 archive before a single payload byte is interpreted.
+echo "=== kill-and-resume (compressed checkpoints) ==="
+ZCKPT_ROOT="$BUILD_DIR/smoke-ckpt-compressed"
+rm -rf "$ZCKPT_ROOT"
+mkdir -p "$ZCKPT_ROOT"
+"$RUNNER" --rounds 6 --seed 17 --out "$ZCKPT_ROOT/ref.bin"
+"$RUNNER" --rounds 6 --seed 17 --out "$ZCKPT_ROOT/killed.bin" \
+  --checkpoint-dir "$ZCKPT_ROOT/ckpt" --compress-ckpt --sleep-ms 300 &
+RUNNER_PID=$!
+for _ in $(seq 1 600); do
+  compgen -G "$ZCKPT_ROOT/ckpt/ckpt.*" > /dev/null && break
+  sleep 0.05
+done
+compgen -G "$ZCKPT_ROOT/ckpt/ckpt.*" > /dev/null || {
+  echo "error: no checkpoint appeared before the kill (compressed)" >&2
+  exit 1
+}
+kill -9 "$RUNNER_PID"
+wait "$RUNNER_PID" || true
+[[ ! -f "$ZCKPT_ROOT/killed.bin" ]] || {
+  echo "error: killed compressed run finished before SIGKILL landed" >&2
+  exit 1
+}
+"$RUNNER" --rounds 6 --seed 17 --out "$ZCKPT_ROOT/resumed.bin" \
+  --checkpoint-dir "$ZCKPT_ROOT/ckpt" --compress-ckpt --resume
+cmp "$ZCKPT_ROOT/ref.bin" "$ZCKPT_ROOT/resumed.bin"
+echo "kill-and-resume OK: compressed-checkpoint resume byte-identical"
+
 echo "=== micro_kernels (filtered) ==="
 MDL_QUICK=1 "$BUILD_DIR/bench/micro_kernels" \
   --json "$OUT_DIR/micro_kernels.jsonl" \
@@ -165,6 +196,14 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   echo "=== GemmDiff harness under ASan+UBSan ==="
   UBSAN_OPTIONS=halt_on_error=1 \
     "$ASAN_DIR/tests/mdl_tests" --gtest_filter='GemmDiff.*'
+  # The codec decode-hardening sweeps (every bit flip, every truncation,
+  # random tampering) under ASan+UBSan: the adversarial-input contract is
+  # "clean mdl::Error, zero out-of-bounds reads", which only sanitizers can
+  # actually certify.
+  echo "=== Codec hardening sweeps under ASan+UBSan ==="
+  UBSAN_OPTIONS=halt_on_error=1 \
+    "$ASAN_DIR/tests/mdl_tests" \
+    --gtest_filter='Codec*:ArchiveCompressed.*'
 
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "=== concurrency tests under TSan ($TSAN_DIR) ==="
@@ -177,7 +216,7 @@ if [[ -z "${MDL_SANITIZE:-}" ]]; then
   for threads in 2 8; do
     TSAN_OPTIONS=halt_on_error=1 MDL_THREADS=$threads \
       "$TSAN_DIR/tests/mdl_tests" \
-      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*:Population*'
+      --gtest_filter='ThreadPool*:ParallelFor*:SharedPool*:Gemm*:*GemmEquivalence*:FedFixture*:DpFixture*:Serve*:Flight*:Population*:CodecFederated*'
   done
   # The chaos liveness property under TSan: producers x injected faults x
   # breaker transitions x shutdown, fixed seed for replayability.

@@ -9,12 +9,14 @@
 #include <sstream>
 
 #include "ckpt/crc32.hpp"
+#include "compress/codec.hpp"
 
 namespace mdl::ckpt {
 namespace {
 
 constexpr std::uint32_t kArchiveMagic = 0x4B4C444DU;  // "MDLK" little-endian
-constexpr std::uint32_t kArchiveVersion = 1;
+constexpr std::uint32_t kArchiveVersionPlain = 1;
+constexpr std::uint32_t kArchiveVersionCompressed = 2;
 // magic + version + payload length.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
 constexpr std::size_t kFooterBytes = 4;  // CRC-32
@@ -38,18 +40,20 @@ std::uint64_t load_u64(const std::string& s, std::size_t off) {
 
 }  // namespace
 
-std::string encode_archive(const PayloadWriter& payload) {
+std::string encode_archive(const PayloadWriter& payload, bool compress) {
   std::ostringstream body;
   {
     BinaryWriter w(body);
     payload(w);
   }
-  const std::string payload_bytes = body.str();
+  std::string payload_bytes = body.str();
+  if (compress)
+    payload_bytes = compress::BlockCodec().encode_string(payload_bytes);
 
   std::ostringstream out;
   BinaryWriter w(out);
   w.write_u32(kArchiveMagic);
-  w.write_u32(kArchiveVersion);
+  w.write_u32(compress ? kArchiveVersionCompressed : kArchiveVersionPlain);
   w.write_u64(payload_bytes.size());
   w.write_bytes(payload_bytes.data(), payload_bytes.size());
   std::string framed = out.str();
@@ -66,7 +70,8 @@ void decode_archive(const std::string& bytes, const PayloadReader& payload) {
   MDL_CHECK(magic == kArchiveMagic,
             "bad checkpoint archive magic 0x" << std::hex << magic);
   const std::uint32_t version = load_u32(bytes, 4);
-  MDL_CHECK(version == kArchiveVersion,
+  MDL_CHECK(version == kArchiveVersionPlain ||
+                version == kArchiveVersionCompressed,
             "unsupported checkpoint archive version " << version);
   const std::uint64_t payload_len = load_u64(bytes, 8);
   MDL_CHECK(payload_len == bytes.size() - kHeaderBytes - kFooterBytes,
@@ -82,8 +87,15 @@ void decode_archive(const std::string& bytes, const PayloadReader& payload) {
                                               << ", computed 0x"
                                               << actual_crc);
 
-  std::istringstream in(
-      bytes.substr(kHeaderBytes, static_cast<std::size_t>(payload_len)));
+  std::string payload_bytes =
+      bytes.substr(kHeaderBytes, static_cast<std::size_t>(payload_len));
+  // The CRC above already vouched for the encoded bytes; the codec's
+  // hardened decoder is the backstop if the file was tampered with
+  // consistently enough to refresh the CRC.
+  if (version == kArchiveVersionCompressed)
+    payload_bytes = compress::BlockCodec::decode_string(payload_bytes);
+
+  std::istringstream in(std::move(payload_bytes));
   BinaryReader r(in);
   payload(r);
   // A reader that stops early would silently ignore (possibly vital) state.
@@ -134,8 +146,9 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-void save_archive(const std::string& path, const PayloadWriter& payload) {
-  write_file_atomic(path, encode_archive(payload));
+void save_archive(const std::string& path, const PayloadWriter& payload,
+                  bool compress) {
+  write_file_atomic(path, encode_archive(payload, compress));
 }
 
 void load_archive(const std::string& path, const PayloadReader& payload) {

@@ -6,12 +6,21 @@
 //   [payload bytes]                                        (BinaryWriter)
 //   [u32 CRC-32 over header + payload]
 //
+// Format version 1 stores the payload verbatim; version 2 stores it as a
+// compress::BlockCodec (Huffman+RLE) stream — model weights and ledgers
+// are exactly the skewed, zero-heavy bytes the codec targets, so rotating
+// checkpoints shrink on flash. Readers auto-detect the version, so v1 and
+// v2 archives interoperate.
+//
 // decode_archive() rejects anything whose framing, length field, or CRC
 // does not check out — a truncated file, a bit flip anywhere in header or
 // payload, and trailing garbage all throw mdl::Error before one payload
-// byte is interpreted. write_file_atomic() writes via a temp file +
-// fsync + rename (then fsyncs the directory), so a crash mid-write leaves
-// either the old file or the new one, never a half-written hybrid.
+// byte is interpreted (for v2 the CRC is over the *encoded* bytes, so
+// corruption is caught before the codec ever parses them; the codec's own
+// hardened decoder backstops the CRC). write_file_atomic() writes via a
+// temp file + fsync + rename (then fsyncs the directory), so a crash
+// mid-write leaves either the old file or the new one, never a
+// half-written hybrid.
 #pragma once
 
 #include <functional>
@@ -26,8 +35,11 @@ using PayloadWriter = std::function<void(BinaryWriter&)>;
 /// Deserializes payload content; must consume the payload exactly.
 using PayloadReader = std::function<void(BinaryReader&)>;
 
-/// Renders `payload` into a CRC-framed archive string.
-std::string encode_archive(const PayloadWriter& payload);
+/// Renders `payload` into a CRC-framed archive string. With `compress` the
+/// payload travels as a BlockCodec stream (format version 2); readers
+/// auto-detect, so the flag changes size on disk, never compatibility.
+std::string encode_archive(const PayloadWriter& payload,
+                           bool compress = false);
 
 /// Verifies framing + CRC of `bytes`, then runs `payload` over the payload
 /// region. Throws mdl::Error on any corruption, truncation, or if the
@@ -42,7 +54,8 @@ void write_file_atomic(const std::string& path, const std::string& bytes);
 std::string read_file(const std::string& path);
 
 /// encode_archive + write_file_atomic.
-void save_archive(const std::string& path, const PayloadWriter& payload);
+void save_archive(const std::string& path, const PayloadWriter& payload,
+                  bool compress = false);
 
 /// read_file + decode_archive.
 void load_archive(const std::string& path, const PayloadReader& payload);

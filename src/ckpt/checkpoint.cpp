@@ -95,7 +95,7 @@ std::vector<std::int64_t> CheckpointManager::list_rounds() const {
 
 void CheckpointManager::save(std::int64_t round,
                              const PayloadWriter& payload) {
-  const std::string bytes = encode_archive(payload);
+  const std::string bytes = encode_archive(payload, config_.compress);
   write_file_atomic(path_for_round(round), bytes);
   MDL_OBS_COUNTER_ADD("ckpt.saves", 1);
   MDL_OBS_COUNTER_ADD("ckpt.bytes_written", bytes.size());

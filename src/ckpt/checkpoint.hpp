@@ -38,6 +38,10 @@ struct CheckpointConfig {
   std::int64_t keep = 3;
   /// Restore the newest verifiable checkpoint before training.
   bool resume = false;
+  /// Store `ckpt.<round>` payloads as BlockCodec streams (archive format
+  /// v2). Readers auto-detect the version, so flipping this between runs —
+  /// including across a resume — is always safe.
+  bool compress = false;
 };
 
 /// Rotating `ckpt.<round>` + MANIFEST scheme over one directory.

@@ -19,9 +19,15 @@ struct HuffmanEncoded {
   std::vector<std::uint8_t> payload;       ///< packed bitstream
   std::uint64_t symbol_count = 0;
 
-  /// Deployable bytes: payload + one byte per alphabet symbol for lengths.
+  /// Exact framing overhead `write_compressed` spends per stream:
+  /// u32 alphabet_size + u64 symbol_count + u64 code-length count +
+  /// u64 payload size. Pinned by CompressTest.StorageBytesMatchesSerializer.
+  static constexpr std::uint64_t kSerializedFramingBytes = 4 + 8 + 8 + 8;
+
+  /// Deployable bytes: payload + one byte per alphabet symbol for lengths
+  /// + the serializer's actual framing.
   std::uint64_t storage_bytes() const {
-    return payload.size() + code_lengths.size() + 16;
+    return payload.size() + code_lengths.size() + kSerializedFramingBytes;
   }
 };
 

@@ -1,0 +1,178 @@
+#include "compress/wire.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace mdl::compress {
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void append_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, 4);
+  append_u32(out, bits);
+}
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Maps int8 to a byte so that small magnitudes (the common case after
+/// clipping/top-k) become small values: 0 -> 0x00 (RLE fodder), -1 -> 1,
+/// 1 -> 2, ...
+std::uint8_t zigzag8(std::int32_t q) {
+  return static_cast<std::uint8_t>((q << 1) ^ (q >> 31));
+}
+
+std::int32_t unzigzag8(std::uint8_t z) {
+  return static_cast<std::int32_t>(z >> 1) ^ -static_cast<std::int32_t>(z & 1);
+}
+
+std::int32_t quantize(float v, float scale) {
+  if (scale == 0.0f) return 0;
+  return std::clamp(static_cast<std::int32_t>(std::lround(v / scale)), -127,
+                    127);
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  std::uint32_t u32() {
+    MDL_CHECK(data_.size() - pos_ >= 4, "wire payload truncated");
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  std::uint8_t u8() {
+    MDL_CHECK(pos_ < data_.size(), "wire payload truncated");
+    return data_[pos_++];
+  }
+  std::uint32_t varint() {
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 35; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    MDL_FAIL("overlong varint in wire payload");
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+float max_abs(std::span<const float> values) {
+  float m = 0.0f;
+  for (const float v : values) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> QuantizedWireCodec::encode_dense(
+    std::span<const float> values) const {
+  const float scale = max_abs(values) / 127.0f;
+  std::vector<std::uint8_t> packed;
+  packed.reserve(8 + values.size());
+  append_u32(packed, static_cast<std::uint32_t>(values.size()));
+  append_f32(packed, scale);
+  for (const float v : values)
+    packed.push_back(zigzag8(quantize(v, scale)));
+  return codec_.encode(packed);
+}
+
+std::vector<std::uint8_t> QuantizedWireCodec::encode_sparse(
+    std::span<const std::pair<std::uint32_t, float>> coords) const {
+  float m = 0.0f;
+  for (const auto& [idx, v] : coords) m = std::max(m, std::fabs(v));
+  const float scale = m / 127.0f;
+  std::vector<std::uint8_t> packed;
+  packed.reserve(8 + coords.size() * 3);
+  append_u32(packed, static_cast<std::uint32_t>(coords.size()));
+  append_f32(packed, scale);
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& [idx, v] : coords) {
+    MDL_CHECK(first || idx > prev,
+              "sparse wire payload indices must be strictly ascending");
+    append_varint(packed, first ? idx : idx - prev);
+    prev = idx;
+    first = false;
+    (void)v;
+  }
+  for (const auto& [idx, v] : coords) {
+    (void)idx;
+    packed.push_back(zigzag8(quantize(v, scale)));
+  }
+  return codec_.encode(packed);
+}
+
+std::uint64_t QuantizedWireCodec::dense_wire_bytes(
+    std::span<const float> values) const {
+  return encode_dense(values).size();
+}
+
+std::uint64_t QuantizedWireCodec::sparse_wire_bytes(
+    std::span<const std::pair<std::uint32_t, float>> coords) const {
+  return encode_sparse(coords).size();
+}
+
+std::vector<float> QuantizedWireCodec::decode_dense(
+    std::span<const std::uint8_t> enc) {
+  const std::vector<std::uint8_t> packed = BlockCodec::decode(enc);
+  ByteReader r(packed);
+  const std::uint32_t count = r.u32();
+  const float scale = r.f32();
+  MDL_CHECK(std::isfinite(scale) && scale >= 0.0f,
+            "dense wire payload has an invalid scale");
+  std::vector<float> values;
+  values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    values.push_back(static_cast<float>(unzigzag8(r.u8())) * scale);
+  MDL_CHECK(r.done(), "trailing bytes in dense wire payload");
+  return values;
+}
+
+std::vector<std::pair<std::uint32_t, float>> QuantizedWireCodec::decode_sparse(
+    std::span<const std::uint8_t> enc) {
+  const std::vector<std::uint8_t> packed = BlockCodec::decode(enc);
+  ByteReader r(packed);
+  const std::uint32_t k = r.u32();
+  const float scale = r.f32();
+  MDL_CHECK(std::isfinite(scale) && scale >= 0.0f,
+            "sparse wire payload has an invalid scale");
+  std::vector<std::pair<std::uint32_t, float>> coords(k);
+  std::uint32_t idx = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t delta = r.varint();
+    MDL_CHECK(i == 0 || delta > 0, "sparse wire payload index delta of zero");
+    idx = i == 0 ? delta : idx + delta;
+    coords[i].first = idx;
+  }
+  for (std::uint32_t i = 0; i < k; ++i)
+    coords[i].second = static_cast<float>(unzigzag8(r.u8())) * scale;
+  MDL_CHECK(r.done(), "trailing bytes in sparse wire payload");
+  return coords;
+}
+
+}  // namespace mdl::compress

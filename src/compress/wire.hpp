@@ -1,0 +1,59 @@
+// QuantizedWireCodec — the quantize + entropy-code shim that prices
+// federated payloads in real encoded bytes (§II-B's communication budget,
+// compressed the way a mobile client actually would: 8-bit linear
+// quantization of the floats, varint-delta coordinates for sparse top-k
+// streams, then the BlockCodec Huffman+RLE stage over the packed bytes).
+//
+// The shim implements federated::WireCodec, so any trainer with
+// attach_wire_codec() can have its SimNetwork exchanges and CommLedger
+// billed by encoded size. It is a *pricing* layer: the trainer still
+// applies exact float updates, so attaching a codec never changes the
+// training trajectory — only the bytes-on-wire accounting (and, through
+// SimNetwork's size-dependent latency/deadline model, the simulated radio
+// schedule).
+//
+// Wire formats (little-endian, then BlockCodec::encode over the packed
+// buffer):
+//   dense:  [u32 count] [f32 scale] [count × zigzag(int8 q)] with
+//           q = round(v / scale), scale = max|v| / 127 (scale 0 when all
+//           zero — every byte is 0x00, which the RLE half eats).
+//   sparse: [u32 k] [f32 scale] [k × LEB128 varint index delta]
+//           [k × zigzag(int8 q)], indices strictly ascending.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "federated/common.hpp"
+
+namespace mdl::compress {
+
+class QuantizedWireCodec final : public federated::WireCodec {
+ public:
+  explicit QuantizedWireCodec(BlockCodecConfig config = {}) : codec_(config) {}
+
+  std::uint64_t dense_wire_bytes(std::span<const float> values) const override;
+  std::uint64_t sparse_wire_bytes(
+      std::span<const std::pair<std::uint32_t, float>> coords) const override;
+
+  /// The framed encoded stream itself (what dense_wire_bytes sizes).
+  std::vector<std::uint8_t> encode_dense(std::span<const float> values) const;
+  std::vector<std::uint8_t> encode_sparse(
+      std::span<const std::pair<std::uint32_t, float>> coords) const;
+
+  /// Inverse shims for the round-trip tests: decode + dequantize. Values
+  /// come back within scale/2 of the originals; sparse indices exactly.
+  static std::vector<float> decode_dense(std::span<const std::uint8_t> enc);
+  static std::vector<std::pair<std::uint32_t, float>> decode_sparse(
+      std::span<const std::uint8_t> enc);
+
+  const BlockCodec& codec() const { return codec_; }
+
+ private:
+  BlockCodec codec_;
+};
+
+}  // namespace mdl::compress

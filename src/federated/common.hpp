@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/random.hpp"
@@ -34,21 +36,71 @@ using ModelFactory = std::function<std::unique_ptr<nn::Sequential>(Rng&)>;
 ModelFactory mlp_factory(std::int64_t in_features, std::int64_t hidden,
                          std::int64_t classes);
 
+/// Prices federated payloads in *encoded* bytes on the wire. Implemented in
+/// mdl::compress (quantize + BlockCodec entropy coding) and attached to a
+/// trainer via attach_wire_codec(); the trainer itself stays codec-agnostic
+/// (mdl_federated cannot link mdl_compress — the dependency points the other
+/// way). A wire codec changes only the byte accounting and the simulated
+/// network's view of transfer sizes; the training math is untouched.
+class WireCodec {
+ public:
+  virtual ~WireCodec() = default;
+  /// Encoded wire bytes for a dense float payload (model broadcast, FedAvg
+  /// upload, DP-clipped delta).
+  virtual std::uint64_t dense_wire_bytes(std::span<const float> values) const = 0;
+  /// Encoded wire bytes for a sparse (index, value) payload with indices
+  /// strictly ascending (selective-SGD top-k exchange).
+  virtual std::uint64_t sparse_wire_bytes(
+      std::span<const std::pair<std::uint32_t, float>> coords) const = 0;
+};
+
 /// Byte-exact communication ledger. Parameters/gradients travel as float32;
 /// sparse (selective) transfers additionally pay 4 bytes per coordinate
 /// index, matching the cost model of Shokri & Shmatikov.
+///
+/// bytes_up/bytes_down are *on-wire* bytes — equal to the raw accounting
+/// unless the trainer has a WireCodec attached, in which case encoded_up /
+/// encoded_down bill the entropy-coded size while bytes_*_raw keeps the
+/// uncompressed float/coord bill for the compressed-vs-raw sweeps.
 struct CommLedger {
   std::uint64_t bytes_up = 0;
   std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up_raw = 0;
+  std::uint64_t bytes_down_raw = 0;
 
-  void dense_up(std::uint64_t floats) { bytes_up += floats * 4; }
-  void dense_down(std::uint64_t floats) { bytes_down += floats * 4; }
-  void sparse_up(std::uint64_t coords) { bytes_up += coords * 8; }
-  void sparse_down(std::uint64_t coords) { bytes_down += coords * 8; }
+  void dense_up(std::uint64_t floats) {
+    bytes_up += floats * 4;
+    bytes_up_raw += floats * 4;
+  }
+  void dense_down(std::uint64_t floats) {
+    bytes_down += floats * 4;
+    bytes_down_raw += floats * 4;
+  }
+  void sparse_up(std::uint64_t coords) {
+    bytes_up += coords * 8;
+    bytes_up_raw += coords * 8;
+  }
+  void sparse_down(std::uint64_t coords) {
+    bytes_down += coords * 8;
+    bytes_down_raw += coords * 8;
+  }
+  /// Codec-priced transfer: `wire` encoded bytes crossed the radio standing
+  /// in for `raw` uncompressed ones.
+  void encoded_up(std::uint64_t wire, std::uint64_t raw) {
+    bytes_up += wire;
+    bytes_up_raw += raw;
+  }
+  void encoded_down(std::uint64_t wire, std::uint64_t raw) {
+    bytes_down += wire;
+    bytes_down_raw += raw;
+  }
   /// Raw uplink traffic that delivered nothing (truncated/corrupted/stale
   /// uploads injected by mdl::sim) — it still crossed the radio, so it
   /// counts toward the communication bill.
-  void wasted_up(std::uint64_t bytes) { bytes_up += bytes; }
+  void wasted_up(std::uint64_t bytes) {
+    bytes_up += bytes;
+    bytes_up_raw += bytes;
+  }
   std::uint64_t total() const { return bytes_up + bytes_down; }
 };
 

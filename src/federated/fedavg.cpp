@@ -14,8 +14,9 @@
 namespace mdl::federated {
 
 namespace {
-// v2 appended the population fingerprint; v1 archives resume unguarded.
-constexpr std::uint32_t kFedAvgStateVersion = 2;
+// v2 appended the population fingerprint; v3 the wire-codec flag and the
+// raw-byte ledger columns. v1 archives resume unguarded.
+constexpr std::uint32_t kFedAvgStateVersion = 3;
 }
 
 void FedAvgTrainer::save_state(BinaryWriter& w) const {
@@ -30,6 +31,9 @@ void FedAvgTrainer::save_state(BinaryWriter& w) const {
   w.write_u64(ledger_.bytes_up);
   w.write_u64(ledger_.bytes_down);
   w.write_u64(population_->fingerprint());
+  w.write_u8(wire_ != nullptr ? 1 : 0);
+  w.write_u64(ledger_.bytes_up_raw);
+  w.write_u64(ledger_.bytes_down_raw);
 }
 
 void FedAvgTrainer::load_state(BinaryReader& r) {
@@ -64,6 +68,19 @@ void FedAvgTrainer::load_state(BinaryReader& r) {
               "checkpoint population fingerprint "
                   << fp << " vs " << population_->fingerprint()
                   << " — resumed against a different client population");
+  }
+  if (stored >= 3) {
+    const bool had_wire = r.read_u8() != 0;
+    MDL_CHECK(had_wire == (wire_ != nullptr),
+              "checkpoint and run disagree on wire-codec attachment");
+    ledger_.bytes_up_raw = r.read_u64();
+    ledger_.bytes_down_raw = r.read_u64();
+  } else {
+    // Pre-codec archives billed raw bytes on the wire.
+    MDL_CHECK(wire_ == nullptr,
+              "cannot resume a pre-codec checkpoint with a wire codec");
+    ledger_.bytes_up_raw = ledger_.bytes_up;
+    ledger_.bytes_down_raw = ledger_.bytes_down;
   }
 }
 
@@ -121,6 +138,8 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     MDL_OBS_SPAN_T("fedavg.round", obs::track_round(round));
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
+    const std::uint64_t bytes_up_raw_before = ledger_.bytes_up_raw;
+    const std::uint64_t bytes_down_raw_before = ledger_.bytes_down_raw;
     const std::vector<float> w_global = nn::flatten_values(global_params);
     // O(cohort) sampling; consumes the same rng_ draws (and returns the
     // same cohort) as the historical sample_without_replacement call.
@@ -136,15 +155,23 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     // Without a SimNetwork the exchange is loss-free and everyone survives.
     std::vector<std::size_t> survivors;
     bool aborted = false;
+    // On-wire size of the model broadcast. With a wire codec attached it is
+    // the entropy-coded size, and it also stands in for the uploads when
+    // sizing the simulated exchange: uploads are same-length dense vectors
+    // whose exact encoded sizes only exist after training, so the network
+    // model prices the round by the broadcast encoding while the ledger
+    // bills each client's true encoded upload below.
+    const std::uint64_t model_raw =
+        static_cast<std::uint64_t>(w_global.size()) * 4;
+    const std::uint64_t broadcast_wire =
+        wire_ != nullptr ? wire_->dense_wire_bytes(w_global) : model_raw;
     if (net_ != nullptr) {
-      const std::uint64_t model_bytes =
-          static_cast<std::uint64_t>(w_global.size()) * 4;
       const sim::RoundReport report =
-          net_->run_round(round, selected, model_bytes, model_bytes);
+          net_->run_round(round, selected, broadcast_wire, broadcast_wire);
       aborted = report.aborted;
       for (const sim::ClientExchange& ex : report.clients) {
         if (ex.outcome == sim::Outcome::kDropout) continue;
-        ledger_.dense_down(w_global.size());
+        ledger_.encoded_down(broadcast_wire, model_raw);
         ledger_.wasted_up(ex.bytes_wasted);
         if (!ex.delivered()) continue;
         if (aborted) {
@@ -197,12 +224,13 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
       std::vector<Rng> client_rngs;
       client_rngs.reserve(n_clients);
       for (std::size_t c = 0; c < n_clients; ++c) {
-        if (net_ == nullptr) ledger_.dense_down(w_global.size());
+        if (net_ == nullptr) ledger_.encoded_down(broadcast_wire, model_raw);
         client_rngs.push_back(rng_.fork());
       }
 
       std::vector<double> client_loss(n_clients, 0.0);
       std::vector<double> client_us(n_clients, 0.0);
+      std::vector<std::uint64_t> upload_wire(n_clients, model_raw);
       std::vector<std::vector<double>> chunk_acc(chunks.size());
       parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
         nn::Sequential& worker = *client_workers_[s];
@@ -230,6 +258,9 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
                           client_rngs[c]);
             upload = nn::flatten_values(worker_params);
           }
+          // Per-client encoded upload size; the codec encode is pure, so
+          // calling it from the chunk workers is race-free.
+          if (wire_ != nullptr) upload_wire[c] = wire_->dense_wire_bytes(upload);
           const double weight = static_cast<double>(sizes[c]) /
                                 static_cast<double>(n_total);
           for (std::size_t i = 0; i < upload.size(); ++i)
@@ -247,7 +278,7 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
         const double weight = static_cast<double>(sizes[c]) /
                               static_cast<double>(n_total);
         round_loss += weight * client_loss[c];
-        ledger_.dense_up(static_cast<std::uint64_t>(model_size_));
+        ledger_.encoded_up(upload_wire[c], model_raw);
         // Observed after the join, so the hot loop touches no shared
         // metric state.
         MDL_OBS_HISTOGRAM_OBSERVE("fedavg.client_us", client_us[c]);
@@ -288,6 +319,16 @@ std::vector<RoundStats> FedAvgTrainer::run(const data::TabularDataset& test) {
     MDL_OBS_COUNTER_ADD("fedavg.bytes_up", ledger_.bytes_up - bytes_up_before);
     MDL_OBS_COUNTER_ADD("fedavg.bytes_down",
                         ledger_.bytes_down - bytes_down_before);
+    if (wire_ != nullptr) {
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_compressed",
+                          ledger_.bytes_up - bytes_up_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_compressed",
+                          ledger_.bytes_down - bytes_down_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_raw",
+                          ledger_.bytes_up_raw - bytes_up_raw_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_raw",
+                          ledger_.bytes_down_raw - bytes_down_raw_before);
+    }
     MDL_OBS_GAUGE_SET("fedavg.test_accuracy", stats.test_accuracy);
     MDL_OBS_GAUGE_SET("fedavg.train_loss", stats.train_loss);
     MDL_OBS_GAUGE_SET("fedavg.peak_rss_bytes",

@@ -76,6 +76,13 @@ class FedAvgTrainer {
   /// model is kept unchanged). nullptr restores the loss-free network.
   void attach_network(sim::SimNetwork* net) { net_ = net; }
 
+  /// Prices every exchange in entropy-coded wire bytes (non-owning; must
+  /// outlive run()). The ledger then bills encoded bytes (raw bytes stay
+  /// in bytes_*_raw) and an attached SimNetwork sizes its transfers by the
+  /// encoded broadcast. Training math is unchanged — the codec is a
+  /// pricing shim, not a lossy channel. nullptr restores raw accounting.
+  void attach_wire_codec(const WireCodec* codec) { wire_ = codec; }
+
   nn::Sequential& global_model() { return *global_; }
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
@@ -110,6 +117,7 @@ class FedAvgTrainer {
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
   sim::SimNetwork* net_ = nullptr;
+  const WireCodec* wire_ = nullptr;
 };
 
 }  // namespace mdl::federated

@@ -15,8 +15,9 @@
 namespace mdl::federated {
 
 namespace {
-// v2 appended the population fingerprint; v1 archives resume unguarded.
-constexpr std::uint32_t kSelectiveSgdStateVersion = 2;
+// v2 appended the population fingerprint; v3 the wire-codec flag and the
+// raw-byte ledger columns. v1 archives resume unguarded.
+constexpr std::uint32_t kSelectiveSgdStateVersion = 3;
 /// Workspace-chunk cap: participants are partitioned into at most this many
 /// contiguous chunks for the parallel pass; each chunk trains its
 /// participants sequentially in one reused workspace. Per-participant work
@@ -41,6 +42,9 @@ void SelectiveSGDTrainer::save_state(BinaryWriter& w) const {
   w.write_u64(ledger_.bytes_up);
   w.write_u64(ledger_.bytes_down);
   w.write_u64(population_->fingerprint());
+  w.write_u8(wire_ != nullptr ? 1 : 0);
+  w.write_u64(ledger_.bytes_up_raw);
+  w.write_u64(ledger_.bytes_down_raw);
 }
 
 void SelectiveSGDTrainer::load_state(BinaryReader& r) {
@@ -87,6 +91,19 @@ void SelectiveSGDTrainer::load_state(BinaryReader& r) {
               "checkpoint population fingerprint "
                   << fp << " vs " << population_->fingerprint()
                   << " — resumed against a different client population");
+  }
+  if (stored >= 3) {
+    const bool had_wire = r.read_u8() != 0;
+    MDL_CHECK(had_wire == (wire_ != nullptr),
+              "checkpoint and run disagree on wire-codec attachment");
+    ledger_.bytes_up_raw = r.read_u64();
+    ledger_.bytes_down_raw = r.read_u64();
+  } else {
+    // Pre-codec archives billed raw bytes on the wire.
+    MDL_CHECK(wire_ == nullptr,
+              "cannot resume a pre-codec checkpoint with a wire codec");
+    ledger_.bytes_up_raw = ledger_.bytes_up;
+    ledger_.bytes_down_raw = ledger_.bytes_down;
   }
 }
 
@@ -154,6 +171,37 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     MDL_OBS_SPAN_T("selective_sgd.round", obs::track_round(round));
     const std::uint64_t bytes_up_before = ledger_.bytes_up;
     const std::uint64_t bytes_down_before = ledger_.bytes_down;
+    const std::uint64_t bytes_up_raw_before = ledger_.bytes_up_raw;
+    const std::uint64_t bytes_down_raw_before = ledger_.bytes_down_raw;
+
+    // With a wire codec attached, the simulated exchange is sized by
+    // representative *encoded* payloads. Per-participant payloads (stale
+    // coordinates, post-training deltas) only exist later, so the round is
+    // priced by streams built from the server vector: the dense broadcast
+    // itself, or the top-k-|g0| coordinates as a sparse stand-in. The
+    // ledger bills each participant's true encoded payload in the merge.
+    const auto representative_sparse = [&](std::size_t k) -> std::uint64_t {
+      std::vector<std::size_t> order(p_count);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       order.end(), [&](std::size_t a, std::size_t b) {
+                         return std::abs(global_[a]) > std::abs(global_[b]);
+                       });
+      std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
+      std::vector<std::pair<std::uint32_t, float>> coords;
+      coords.reserve(k);
+      for (std::size_t j = 0; j < k; ++j)
+        coords.emplace_back(static_cast<std::uint32_t>(order[j]),
+                            global_[order[j]]);
+      return wire_->sparse_wire_bytes(coords);
+    };
+    // Encoded size of the full server snapshot; reused for every dense
+    // download this round (all participants fetch the same g0).
+    const std::uint64_t dense_down_wire =
+        wire_ != nullptr && config_.download_fraction >= 1.0
+            ? wire_->dense_wire_bytes(global_)
+            : static_cast<std::uint64_t>(p_count) * 4;
 
     // Fault-injected exchange for the whole population (loss-free without
     // an attached SimNetwork). Coordinate counts are uniform across
@@ -162,15 +210,24 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     if (net_ != nullptr) {
       std::vector<std::size_t> all(population_->size());
       std::iota(all.begin(), all.end(), std::size_t{0});
-      const std::uint64_t bytes_down =
+      std::uint64_t bytes_down =
           config_.download_fraction >= 1.0
               ? static_cast<std::uint64_t>(p_count) * 4
               : static_cast<std::uint64_t>(top_k(config_.download_fraction)) *
                     8;
-      const std::uint64_t bytes_up =
+      std::uint64_t bytes_up =
           config_.upload_fraction >= 1.0
               ? static_cast<std::uint64_t>(p_count) * 4
               : static_cast<std::uint64_t>(top_k(config_.upload_fraction)) * 8;
+      if (wire_ != nullptr) {
+        bytes_down = config_.download_fraction >= 1.0
+                         ? dense_down_wire
+                         : representative_sparse(
+                               top_k(config_.download_fraction));
+        bytes_up = config_.upload_fraction >= 1.0
+                       ? wire_->dense_wire_bytes(global_)
+                       : representative_sparse(top_k(config_.upload_fraction));
+      }
       report = net_->run_round(round, all, bytes_down, bytes_up);
     }
 
@@ -208,6 +265,11 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
     std::vector<std::vector<std::pair<std::uint32_t, float>>> uploads(
         n_active);
     std::vector<double> client_us(n_active, 0.0);
+    // Exact encoded wire bytes per participant (filled by the chunk
+    // workers when a codec is attached; the codec encode is pure, so the
+    // calls are race-free).
+    std::vector<std::uint64_t> dl_wire(n_active, 0);
+    std::vector<std::uint64_t> ul_wire(n_active, 0);
     parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
       nn::Sequential& worker = *client_workers_[s];
       const auto worker_params = worker.parameters();
@@ -240,6 +302,16 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
             local[i] = g0[i];
             seen[i] = v0[i];
           }
+          if (wire_ != nullptr) {
+            std::vector<std::uint32_t> idx(order.begin(),
+                                           order.begin() +
+                                               static_cast<std::ptrdiff_t>(dl));
+            std::sort(idx.begin(), idx.end());
+            std::vector<std::pair<std::uint32_t, float>> coords;
+            coords.reserve(dl);
+            for (const std::uint32_t i : idx) coords.emplace_back(i, g0[i]);
+            dl_wire[c] = wire_->sparse_wire_bytes(coords);
+          }
         }
 
         // -- Local training -----------------------------------------------
@@ -267,6 +339,16 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
             const auto i = static_cast<std::uint32_t>(order[j]);
             uploads[c].emplace_back(i, delta[i]);
           }
+          if (wire_ != nullptr) {
+            if (config_.upload_fraction >= 1.0) {
+              ul_wire[c] = wire_->dense_wire_bytes(delta);
+            } else {
+              std::vector<std::pair<std::uint32_t, float>> coords =
+                  uploads[c];
+              std::sort(coords.begin(), coords.end());
+              ul_wire[c] = wire_->sparse_wire_bytes(coords);
+            }
+          }
         }
 
         local = after;  // the replica keeps all of its own progress
@@ -289,20 +371,23 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
       const sim::ClientExchange* ex =
           net_ != nullptr ? &report.clients[active[c]] : nullptr;
       round_loss += client_loss[c];
-      if (config_.download_fraction >= 1.0)
-        ledger_.dense_down(p_count);
-      else
-        ledger_.sparse_down(top_k(config_.download_fraction));
+      if (config_.download_fraction >= 1.0) {
+        const std::uint64_t raw = static_cast<std::uint64_t>(p_count) * 4;
+        ledger_.encoded_down(wire_ != nullptr ? dense_down_wire : raw, raw);
+      } else {
+        const std::uint64_t raw =
+            static_cast<std::uint64_t>(top_k(config_.download_fraction)) * 8;
+        ledger_.encoded_down(wire_ != nullptr ? dl_wire[c] : raw, raw);
+      }
       if (ex != nullptr) ledger_.wasted_up(ex->bytes_wasted);
       if (accepted[c]) {
         for (const auto& [i, d] : uploads[c]) {
           global_[i] += d;
           ++version_[i];
         }
-        if (config_.upload_fraction >= 1.0)
-          ledger_.dense_up(uploads[c].size());
-        else
-          ledger_.sparse_up(uploads[c].size());
+        const std::uint64_t raw =
+            uploads[c].size() * (config_.upload_fraction >= 1.0 ? 4 : 8);
+        ledger_.encoded_up(wire_ != nullptr ? ul_wire[c] : raw, raw);
       } else if (ex->delivered()) {
         // Delivered into an aborted round: discarded by the server.
         ledger_.wasted_up(ex->bytes_up_ok);
@@ -348,6 +433,16 @@ std::vector<RoundStats> SelectiveSGDTrainer::run(
                         ledger_.bytes_up - bytes_up_before);
     MDL_OBS_COUNTER_ADD("selective_sgd.bytes_down",
                         ledger_.bytes_down - bytes_down_before);
+    if (wire_ != nullptr) {
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_compressed",
+                          ledger_.bytes_up - bytes_up_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_compressed",
+                          ledger_.bytes_down - bytes_down_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_raw",
+                          ledger_.bytes_up_raw - bytes_up_raw_before);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_raw",
+                          ledger_.bytes_down_raw - bytes_down_raw_before);
+    }
     MDL_OBS_GAUGE_SET("selective_sgd.test_accuracy", stats.test_accuracy);
     MDL_OBS_GAUGE_SET("selective_sgd.train_loss", stats.train_loss);
 

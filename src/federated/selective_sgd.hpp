@@ -67,6 +67,13 @@ class SelectiveSGDTrainer {
   /// quorum-aborted round discards every upload.
   void attach_network(sim::SimNetwork* net) { net_ = net; }
 
+  /// Prices every exchange in entropy-coded wire bytes (non-owning; must
+  /// outlive run()). Sparse top-k payloads travel as varint index deltas +
+  /// quantized values through the codec; the ledger bills encoded bytes
+  /// while bytes_*_raw keeps the float/coord bill. Training math is
+  /// unchanged. nullptr restores raw accounting.
+  void attach_wire_codec(const WireCodec* codec) { wire_ = codec; }
+
   const CommLedger& ledger() const { return ledger_; }
   std::int64_t model_size() const { return model_size_; }
   /// The server's flat parameter vector (bit-exact state, e.g. for the
@@ -105,6 +112,7 @@ class SelectiveSGDTrainer {
   std::int64_t model_size_ = 0;
   CommLedger ledger_;
   sim::SimNetwork* net_ = nullptr;
+  const WireCodec* wire_ = nullptr;
 };
 
 }  // namespace mdl::federated

@@ -13,8 +13,9 @@
 namespace mdl::privacy {
 
 namespace {
-// v2 appended the population fingerprint; v1 archives resume unguarded.
-constexpr std::uint32_t kDpFedAvgStateVersion = 2;
+// v2 appended the population fingerprint; v3 the wire-codec flag. v1
+// archives resume unguarded.
+constexpr std::uint32_t kDpFedAvgStateVersion = 3;
 }
 
 void DpFedAvgTrainer::save_state(BinaryWriter& w) const {
@@ -27,6 +28,7 @@ void DpFedAvgTrainer::save_state(BinaryWriter& w) const {
   w.write_f32_vector(nn::flatten_values(global_->parameters()));
   accountant_.serialize(w);
   w.write_u64(population_->fingerprint());
+  w.write_u8(wire_ != nullptr ? 1 : 0);
 }
 
 void DpFedAvgTrainer::load_state(BinaryReader& r) {
@@ -61,6 +63,14 @@ void DpFedAvgTrainer::load_state(BinaryReader& r) {
               "checkpoint population fingerprint "
                   << fp << " vs " << population_->fingerprint()
                   << " — resumed against a different client population");
+  }
+  if (stored >= 3) {
+    const bool had_wire = r.read_u8() != 0;
+    MDL_CHECK(had_wire == (wire_ != nullptr),
+              "checkpoint and run disagree on wire-codec attachment");
+  } else {
+    MDL_CHECK(wire_ == nullptr,
+              "cannot resume a pre-codec checkpoint with a wire codec");
   }
 }
 
@@ -122,6 +132,9 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     MDL_OBS_SPAN_T("dp_fedavg.round", obs::track_round(round));
     const std::vector<float> w_global = nn::flatten_values(global_params);
     std::vector<double> update_sum(p_count, 0.0);
+    const std::uint64_t broadcast_wire =
+        wire_ != nullptr ? wire_->dense_wire_bytes(w_global)
+                         : static_cast<std::uint64_t>(p_count) * 4;
 
     DpRoundStats stats;
     stats.round = round;
@@ -142,10 +155,11 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
       const std::vector<std::size_t> sampled = federated::
           sample_bernoulli_cohort(rng_, population_->size(),
                                   config_.client_sample_prob);
-      const std::uint64_t model_bytes =
-          static_cast<std::uint64_t>(p_count) * 4;
+      // With a wire codec the exchange is sized by the encoded broadcast —
+      // the clipped deltas' exact encoded sizes only exist after training
+      // and are billed to the sim.bytes_up_compressed counter below.
       const sim::RoundReport report =
-          net_->run_round(round, sampled, model_bytes, model_bytes);
+          net_->run_round(round, sampled, broadcast_wire, broadcast_wire);
       aborted = report.aborted;
       stats.clients_selected = static_cast<std::int64_t>(sampled.size());
       stats.clients_delivered = report.delivered;
@@ -179,6 +193,7 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
     ensure_client_workers(chunks.size());
     std::vector<double> client_loss(n_clients, 0.0);
     std::vector<double> client_us(n_clients, 0.0);
+    std::vector<std::uint64_t> delta_wire(n_clients, 0);
     std::vector<std::vector<double>> chunk_acc(chunks.size());
     parallel_for(shared_pool(), chunks.size(), [&](std::size_t s) {
       nn::Sequential& worker = *client_workers_[s];
@@ -198,6 +213,9 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
         std::vector<float> update = nn::flatten_values(worker_params);
         for (std::size_t i = 0; i < p_count; ++i) update[i] -= w_global[i];
         nn::clip_l2(update, config_.clip_norm);  // modification 2
+        // Encoded size of the DP-clipped delta this client would upload;
+        // the codec encode is pure, so the call is race-free.
+        if (wire_ != nullptr) delta_wire[c] = wire_->dense_wire_bytes(update);
         for (std::size_t i = 0; i < p_count; ++i)
           acc[i] += static_cast<double>(update[i]);
         client_us[c] = std::chrono::duration<double, std::micro>(
@@ -211,6 +229,17 @@ std::vector<DpRoundStats> DpFedAvgTrainer::run(
       round_loss += client_loss[c];
       ++clients_run;
       MDL_OBS_HISTOGRAM_OBSERVE("dp_fedavg.client_us", client_us[c]);
+    }
+    if (wire_ != nullptr) {
+      std::uint64_t up_wire = 0;
+      for (const std::uint64_t b : delta_wire) up_wire += b;
+      const std::uint64_t n = n_clients;
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_compressed", up_wire);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_compressed", n * broadcast_wire);
+      MDL_OBS_COUNTER_ADD("sim.bytes_up_raw",
+                          n * static_cast<std::uint64_t>(p_count) * 4);
+      MDL_OBS_COUNTER_ADD("sim.bytes_down_raw",
+                          n * static_cast<std::uint64_t>(p_count) * 4);
     }
 
     if (!aborted) {

@@ -77,6 +77,13 @@ class DpFedAvgTrainer {
   /// quorum-aborted round releases nothing and charges no privacy budget.
   void attach_network(sim::SimNetwork* net) { net_ = net; }
 
+  /// Prices the round's exchanges in entropy-coded wire bytes (non-owning;
+  /// must outlive run()): the simulated network sizes transfers by the
+  /// encoded broadcast, and the sim.bytes_*_compressed counters bill each
+  /// participant's true encoded clipped delta. Training math and the
+  /// privacy accounting are unchanged. nullptr restores raw sizing.
+  void attach_wire_codec(const federated::WireCodec* codec) { wire_ = codec; }
+
   nn::Sequential& global_model() { return *global_; }
   const MomentsAccountant& accountant() const { return accountant_; }
   /// Workspace models currently allocated — capped at
@@ -104,6 +111,7 @@ class DpFedAvgTrainer {
   std::vector<data::TabularDataset> shard_scratch_;
   MomentsAccountant accountant_;
   sim::SimNetwork* net_ = nullptr;
+  const federated::WireCodec* wire_ = nullptr;
 };
 
 }  // namespace mdl::privacy

@@ -5,13 +5,16 @@
 //
 //   ckpt_resume_runner --checkpoint-dir <dir> --out <file>
 //                      [--resume] [--rounds N] [--seed S] [--sleep-ms M]
-//                      [--virtual N]
+//                      [--virtual N] [--compress-ckpt]
 //
 // --sleep-ms pauses after every completed round (checkpoint already on
 // disk), giving the parent test a window to SIGKILL the process mid-run.
 // --virtual N swaps the materialized 4-shard partition for an N-client
 // VirtualPopulation (population seed = --seed), so the kill-and-resume
 // bit-identity contract is exercised on the O(cohort) path too.
+// --compress-ckpt writes checkpoints as BlockCodec (format v2) archives;
+// resume auto-detects, so killing a compressed run and resuming it must
+// still reproduce the uninterrupted model byte-for-byte.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -37,11 +40,13 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 17;
   std::int64_t sleep_ms = 0;
   std::uint64_t virtual_clients = 0;  // 0 = materialized 4-shard partition
+  bool compress_ckpt = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--checkpoint-dir" && i + 1 < argc) ckpt_dir = argv[++i];
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--resume") resume = true;
+    else if (arg == "--compress-ckpt") compress_ckpt = true;
     else if (arg == "--rounds" && i + 1 < argc) rounds = std::stoll(argv[++i]);
     else if (arg == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
     else if (arg == "--sleep-ms" && i + 1 < argc)
@@ -96,6 +101,7 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   cfg.checkpoint.dir = ckpt_dir;
   cfg.checkpoint.resume = resume;
+  cfg.checkpoint.compress = compress_ckpt;
   if (sleep_ms > 0) {
     cfg.on_round = [sleep_ms](const federated::RoundStats& rs) {
       // The round's checkpoint is on disk by the time this runs; announce
